@@ -1,0 +1,63 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment at reduced
+// scale per iteration (the full-scale runs are `cicero-bench -experiment
+// <id>`); the rendered rows are the paper's series.
+//
+//	go test -bench=. -benchmem
+package cicero_test
+
+import (
+	"io"
+	"testing"
+
+	"cicero/internal/experiments"
+)
+
+// benchOpts keeps per-iteration work bounded while preserving every
+// protocol structure the figures depend on.
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Flows: 120, Seed: 99}
+}
+
+// runExperiment executes one experiment per iteration, discarding output.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	opt := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, opt, io.Discard); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// BenchmarkFig11a regenerates the Hadoop flow-completion CDF (single pod,
+// centralized vs crash-tolerant vs Cicero vs Cicero-agg).
+func BenchmarkFig11a(b *testing.B) { runExperiment(b, "fig11a") }
+
+// BenchmarkFig11b regenerates the web-server flow-completion CDF.
+func BenchmarkFig11b(b *testing.B) { runExperiment(b, "fig11b") }
+
+// BenchmarkFig11c regenerates the unamortized (setup/teardown) CDF.
+func BenchmarkFig11c(b *testing.B) { runExperiment(b, "fig11c") }
+
+// BenchmarkFig11d regenerates the switch CPU utilization series.
+func BenchmarkFig11d(b *testing.B) { runExperiment(b, "fig11d") }
+
+// BenchmarkFig12a regenerates update time vs control-plane size.
+func BenchmarkFig12a(b *testing.B) { runExperiment(b, "fig12a") }
+
+// BenchmarkFig12b regenerates per-domain event locality.
+func BenchmarkFig12b(b *testing.B) { runExperiment(b, "fig12b") }
+
+// BenchmarkFig12c regenerates single- vs multi-domain flow completion.
+func BenchmarkFig12c(b *testing.B) { runExperiment(b, "fig12c") }
+
+// BenchmarkFig12d regenerates the multi-data-center comparison.
+func BenchmarkFig12d(b *testing.B) { runExperiment(b, "fig12d") }
+
+// BenchmarkTable1 regenerates the consistency-scenario quantification.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2 renders the feature matrix.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }

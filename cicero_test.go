@@ -1,0 +1,131 @@
+package cicero_test
+
+import (
+	"testing"
+	"time"
+
+	"cicero"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	topo, err := cicero.SinglePod(4, 2)
+	if err != nil {
+		t.Fatalf("SinglePod: %v", err)
+	}
+	net, err := cicero.New(cicero.Options{Topology: topo, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	results, err := net.Run([]cicero.Flow{
+		{ID: 1, Src: cicero.Host(0, 0, 0, 0), Dst: cicero.Host(0, 0, 2, 1), SizeKB: 64},
+		{ID: 2, Src: cicero.Host(0, 0, 0, 1), Dst: cicero.Host(0, 0, 2, 1), SizeKB: 64, Start: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("completed %d flows, want 2", len(results))
+	}
+	if !results[1].RuleReused {
+		t.Error("second same-rack flow should reuse rules")
+	}
+	stats := net.Stats()
+	if stats.UpdatesApplied == 0 || stats.EventsDelivered == 0 {
+		t.Errorf("missing protocol activity: %+v", stats)
+	}
+	if stats.UpdatesRejected != 0 {
+		t.Errorf("honest run rejected %d updates", stats.UpdatesRejected)
+	}
+}
+
+func TestPublicAPIProtocols(t *testing.T) {
+	topo, err := cicero.SinglePod(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		proto cicero.Protocol
+		ctls  int
+	}{
+		{"centralized", cicero.Centralized, 1},
+		{"crash", cicero.CrashTolerant, 4},
+		{"cicero", cicero.Cicero, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := cicero.New(cicero.Options{
+				Topology: topo, Protocol: tc.proto, Controllers: tc.ctls, Seed: 2,
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			results, err := net.Run([]cicero.Flow{
+				{ID: 1, Src: cicero.Host(0, 0, 0, 0), Dst: cicero.Host(0, 0, 1, 0), SizeKB: 32},
+			})
+			if err != nil || len(results) != 1 {
+				t.Fatalf("Run: %v (%d results)", err, len(results))
+			}
+		})
+	}
+}
+
+func TestPublicAPITeardownMode(t *testing.T) {
+	topo, err := cicero.SinglePod(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := cicero.New(cicero.Options{Topology: topo, PairRules: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := cicero.Host(0, 0, 0, 0), cicero.Host(0, 0, 1, 0)
+	results, err := net.RunTeardown([]cicero.Flow{
+		{ID: 1, Src: src, Dst: dst, SizeKB: 32},
+		{ID: 2, Src: src, Dst: dst, SizeKB: 32, Start: 400 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.RuleReused {
+			t.Errorf("flow %d reused rules in teardown mode", r.Flow.ID)
+		}
+	}
+}
+
+func TestPublicAPIMultiDC(t *testing.T) {
+	topo, err := cicero.MultiDC(2, 1, 2)
+	if err != nil {
+		t.Fatalf("MultiDC: %v", err)
+	}
+	net, err := cicero.New(cicero.Options{
+		Topology: topo,
+		Domains:  3,
+		DomainOf: cicero.ByPod(1, 2),
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	flows, err := cicero.WebWorkload(topo, 40, 4)
+	if err != nil {
+		t.Fatalf("WebWorkload: %v", err)
+	}
+	results, err := net.Run(flows)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 40 {
+		t.Fatalf("completed %d flows, want 40", len(results))
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := cicero.New(cicero.Options{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	topo, _ := cicero.SinglePod(2, 1)
+	if _, err := cicero.New(cicero.Options{Topology: topo, Controllers: 3}); err == nil {
+		t.Error("cicero with 3 controllers accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Command cicero-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cicero-bench -experiment fig11a [-flows 5000] [-seed 2020] [-quick] [-real-crypto]
+//	cicero-bench -experiment all
+//	cicero-bench -list
+//
+// Each experiment prints the same rows/series its paper counterpart
+// reports; EXPERIMENTS.md records measured-versus-paper for all of them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cicero/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (fig11a..fig12d, table1, table2, or 'all')")
+		flows      = flag.Int("flows", 0, "flows per run (default 5000, or 400 with -quick)")
+		seed       = flag.Int64("seed", 2020, "deterministic simulation seed")
+		quick      = flag.Bool("quick", false, "shrink topologies and flow counts for a fast pass")
+		realCrypto = flag.Bool("real-crypto", false, "execute real BLS/Ed25519 operations (slow)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "cicero-bench: -experiment is required (use -list to enumerate)")
+		flag.Usage()
+		return 2
+	}
+	opt := experiments.Options{
+		Flows:      *flows,
+		Seed:       *seed,
+		Quick:      *quick,
+		CryptoReal: *realCrypto,
+	}
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		if err := experiments.Run(name, opt, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cicero-bench: %v\n", err)
+			return 1
+		}
+		fmt.Println()
+	}
+	return 0
+}

@@ -1,0 +1,823 @@
+// Package controlplane implements the Cicero controller runtime (Fig. 7
+// and Fig. 8 of the paper): event verification and deduplication, atomic
+// broadcast of events, independent computation and threshold-share signing
+// of network updates, dependency-driven parallel dispatch released by
+// switch acknowledgements, the optional controller-aggregation mode, the
+// failure detector, and control-plane membership changes with distributed
+// resharing.
+//
+// The same runtime also hosts the two baselines the paper compares
+// against: a centralized controller (no replication, no signatures) and a
+// crash-tolerant replicated control plane (atomic broadcast, no quorum
+// authentication).
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"cicero/internal/audit"
+	"cicero/internal/bft"
+	"cicero/internal/openflow"
+	"cicero/internal/protocol"
+	"cicero/internal/routing"
+	"cicero/internal/scheduler"
+	"cicero/internal/simnet"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/pki"
+)
+
+// Protocol selects the control-plane protocol under evaluation.
+type Protocol int
+
+// Protocols. Start at 1 so the zero value is invalid.
+const (
+	// ProtoCentralized is the single-controller baseline.
+	ProtoCentralized Protocol = iota + 1
+	// ProtoCrash replicates with crash-tolerant atomic broadcast and no
+	// update authentication.
+	ProtoCrash
+	// ProtoCicero is the full protocol: BFT atomic broadcast plus
+	// threshold-signed updates.
+	ProtoCicero
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoCentralized:
+		return "centralized"
+	case ProtoCrash:
+		return "crash-tolerant"
+	case ProtoCicero:
+		return "cicero"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Aggregation selects where signature aggregation happens (§4.2).
+type Aggregation int
+
+// Aggregation modes. Start at 1 so the zero value is invalid.
+const (
+	// AggSwitch has every switch collect and aggregate shares.
+	AggSwitch Aggregation = iota + 1
+	// AggController designates the lowest-identifier controller as
+	// aggregator for both events and update signatures.
+	AggController
+)
+
+// FailureDetectorConfig enables heartbeat-based failure detection.
+type FailureDetectorConfig struct {
+	// Interval between heartbeats.
+	Interval time.Duration
+	// Timeout after which a silent member is suspected.
+	Timeout time.Duration
+	// Horizon stops the detector (so simulations quiesce).
+	Horizon time.Duration
+}
+
+// Config assembles a controller.
+type Config struct {
+	// ID is the controller's identity and simnet node id.
+	ID pki.Identity
+	// Domain is this controller's update domain index.
+	Domain int
+	// Members is the domain's initial control plane, in membership order
+	// (identifier order; never reused).
+	Members []pki.Identity
+
+	Net       *simnet.Network
+	Cost      protocol.CostModel
+	Keys      *pki.KeyPair
+	Directory *pki.Directory
+
+	Protocol    Protocol
+	Aggregation Aggregation
+
+	// Scheme, GroupKey and Share configure threshold signing (ProtoCicero).
+	// A joining controller leaves Share zero and receives key material
+	// through the membership protocol.
+	Scheme   *bls.Scheme
+	GroupKey *bls.GroupKey
+	Share    bls.KeyShare
+
+	// App plans updates; Sched orders them.
+	App   routing.App
+	Sched scheduler.Scheduler
+
+	// DomainOf maps a switch id to its domain; nil means single-domain.
+	DomainOf func(switchID string) int
+	// PeerDomains lists known controllers of other domains for event
+	// forwarding.
+	PeerDomains map[int][]pki.Identity
+	// Switches lists the data-plane switches of this domain (for config
+	// pushes).
+	Switches []string
+
+	// CryptoReal executes real signatures; otherwise only simulated time
+	// is charged.
+	CryptoReal bool
+	// Bootstrap marks the trusted bootstrap controller that may initiate
+	// additions (§4.3).
+	Bootstrap bool
+	// ViewChangeTimeout bounds atomic-broadcast stalls.
+	ViewChangeTimeout time.Duration
+	// FailureDetector, when non-nil, runs heartbeats.
+	FailureDetector *FailureDetectorConfig
+}
+
+// CiceroQuorum returns the update quorum t = ⌊(n−1)/3⌋+1 (§3.2).
+func CiceroQuorum(n int) int { return (n-1)/3 + 1 }
+
+// aggCollect buffers shares at the aggregator.
+type aggCollect struct {
+	mods   []openflow.FlowMod
+	phase  uint64
+	shares map[uint32][]byte
+	done   bool
+}
+
+// Controller is one control-plane member.
+type Controller struct {
+	cfg     Config
+	members []pki.Identity
+	phase   uint64
+
+	replica   *bft.Replica
+	engine    *scheduler.Engine
+	updateMod map[string][]openflow.FlowMod // updateID|phase -> mods (for aggregation)
+
+	seenEvents      map[string]bool // receipt-level dedup
+	deliveredEvents map[string]bool // delivery-level dedup
+	pendingSubmit   map[string][]byte
+
+	// Aggregator state.
+	aggPending map[string]*aggCollect
+
+	// Config-push share collection (leader only).
+	configShares map[uint64]map[uint32][]byte
+
+	// Membership-change state (see membership.go).
+	change      *changeState
+	early       earlyReshare
+	earlyConfig []protocol.MsgConfigShare
+
+	// Failure detector state.
+	lastSeen  map[pki.Identity]simnet.Time
+	suspected map[pki.Identity]bool
+	hbSeq     uint64
+
+	// ledger is the §7 auditable decision chain: every delivered event
+	// and signed update is appended, enabling cross-controller audits.
+	ledger audit.Ledger
+
+	centralSeq uint64
+	stopped    bool
+
+	// Counters for experiments.
+	EventsReceived  uint64
+	EventsDelivered uint64
+	UpdatesSigned   uint64
+	AcksReceived    uint64
+	Reshares        uint64
+}
+
+var _ simnet.Handler = (*Controller)(nil)
+
+// New creates a controller and registers it on the network.
+func New(cfg Config) (*Controller, error) {
+	if cfg.ID == "" || cfg.Net == nil || cfg.Keys == nil || cfg.Directory == nil {
+		return nil, fmt.Errorf("controlplane: incomplete config for %q", cfg.ID)
+	}
+	if cfg.App == nil || cfg.Sched == nil {
+		return nil, fmt.Errorf("controlplane: %q: app and scheduler are required", cfg.ID)
+	}
+	if cfg.Protocol == ProtoCicero {
+		if len(cfg.Members) < 4 {
+			return nil, fmt.Errorf("controlplane: cicero requires n >= 4 controllers, got %d", len(cfg.Members))
+		}
+		if cfg.Scheme == nil || cfg.GroupKey == nil {
+			return nil, fmt.Errorf("controlplane: %q: cicero requires threshold key material", cfg.ID)
+		}
+	}
+	c := &Controller{
+		cfg:             cfg,
+		members:         append([]pki.Identity(nil), cfg.Members...),
+		seenEvents:      make(map[string]bool),
+		deliveredEvents: make(map[string]bool),
+		pendingSubmit:   make(map[string][]byte),
+		aggPending:      make(map[string]*aggCollect),
+		configShares:    make(map[uint64]map[uint32][]byte),
+		updateMod:       make(map[string][]openflow.FlowMod),
+		lastSeen:        make(map[pki.Identity]simnet.Time),
+		suspected:       make(map[pki.Identity]bool),
+	}
+	c.engine = scheduler.NewEngine(c.dispatchUpdate)
+	if cfg.Protocol != ProtoCentralized {
+		if err := c.rebuildReplica(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Net.Register(simnet.NodeID(cfg.ID), c)
+	if cfg.FailureDetector != nil && cfg.Protocol == ProtoCicero {
+		c.scheduleHeartbeat()
+	}
+	return c, nil
+}
+
+// ID returns the controller's identity.
+func (c *Controller) ID() pki.Identity { return c.cfg.ID }
+
+// Members returns the current control-plane membership.
+func (c *Controller) Members() []pki.Identity {
+	return append([]pki.Identity(nil), c.members...)
+}
+
+// Phase returns the current membership phase.
+func (c *Controller) Phase() uint64 { return c.phase }
+
+// GroupKey returns the current threshold group key.
+func (c *Controller) GroupKey() *bls.GroupKey { return c.cfg.GroupKey }
+
+// Quorum returns the current update quorum.
+func (c *Controller) Quorum() int {
+	if c.cfg.Protocol != ProtoCicero {
+		return 1
+	}
+	return CiceroQuorum(len(c.members))
+}
+
+// Stop models a crash from the inside (the simulator drops its traffic
+// separately via Crash).
+func (c *Controller) Stop() {
+	c.stopped = true
+	if c.replica != nil {
+		c.replica.Stop()
+	}
+}
+
+// memberSlot returns id's position in the membership list, or -1.
+func (c *Controller) memberSlot(id pki.Identity) int {
+	for i, m := range c.members {
+		if m == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// isAggregator reports whether this controller currently aggregates.
+func (c *Controller) isAggregator() bool {
+	return c.cfg.Aggregation == AggController && len(c.members) > 0 && c.members[0] == c.cfg.ID
+}
+
+// aggregatorID returns the current aggregator identity ("" when switches
+// aggregate).
+func (c *Controller) aggregatorID() pki.Identity {
+	if c.cfg.Aggregation == AggController && len(c.members) > 0 {
+		return c.members[0]
+	}
+	return ""
+}
+
+// rebuildReplica (re)creates the atomic-broadcast group for the current
+// membership epoch. The previous epoch's replica is stopped so its
+// retransmission timers die with it.
+func (c *Controller) rebuildReplica() error {
+	if c.replica != nil {
+		c.replica.Stop()
+	}
+	slot := c.memberSlot(c.cfg.ID)
+	if slot < 0 {
+		c.replica = nil
+		return nil // removed member: no longer participates
+	}
+	ids := make([]bft.ReplicaID, len(c.members))
+	for i := range c.members {
+		ids[i] = bft.ReplicaID(i + 1)
+	}
+	// The paper's crash-tolerant baseline orders through BFT-SMaRt's full
+	// three-phase protocol (it merely skips update authentication), so
+	// ProtoCrash uses Byzantine ordering whenever the group is large
+	// enough and falls back to two-phase crash ordering below n=4.
+	mode := bft.ModeByzantine
+	if c.cfg.Protocol == ProtoCrash && len(c.members) < 4 {
+		mode = bft.ModeCrash
+	}
+	epoch := c.phase
+	replica, err := bft.NewReplica(bft.Config{
+		ID:        bft.ReplicaID(slot + 1),
+		Replicas:  ids,
+		Mode:      mode,
+		Transport: &bftTransport{c: c, epoch: epoch},
+		Timer: func(d time.Duration, fn func()) {
+			c.cfg.Net.After(simnet.NodeID(c.cfg.ID), d, fn)
+		},
+		Deliver:           func(seq uint64, payload []byte) { c.onDeliver(payload) },
+		ViewChangeTimeout: c.cfg.ViewChangeTimeout,
+	})
+	if err != nil {
+		return fmt.Errorf("controlplane: %q: %w", c.cfg.ID, err)
+	}
+	c.replica = replica
+	return nil
+}
+
+// bftTransport routes atomic-broadcast messages over simnet, tagging them
+// with the membership epoch.
+type bftTransport struct {
+	c     *Controller
+	epoch uint64
+}
+
+var _ bft.Transport = (*bftTransport)(nil)
+
+// Send implements bft.Transport.
+func (t *bftTransport) Send(to bft.ReplicaID, msg bft.Message) {
+	slot := int(to) - 1
+	if slot < 0 || slot >= len(t.c.members) {
+		return
+	}
+	t.c.cfg.Net.Send(simnet.NodeID(t.c.cfg.ID), simnet.NodeID(t.c.members[slot]),
+		protocol.MsgBFT{Phase: t.epoch, Inner: msg}, 256)
+}
+
+// HandleMessage implements simnet.Handler.
+func (c *Controller) HandleMessage(from simnet.NodeID, msg simnet.Message) {
+	if c.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case protocol.MsgEvent:
+		c.handleEventMsg(m)
+	case protocol.MsgAck:
+		c.handleAckMsg(m)
+	case protocol.MsgBFT:
+		c.handleBFT(from, m)
+	case protocol.MsgUpdate:
+		c.handleUpdateShare(m)
+	case protocol.MsgConfigShare:
+		c.handleConfigShare(m)
+	case protocol.MsgHeartbeat:
+		c.lastSeen[m.From] = c.cfg.Net.Sim().Now()
+	case protocol.MsgReshareDeal:
+		c.handleReshareDeal(m)
+	case protocol.MsgReshareSub:
+		c.handleReshareSub(m)
+	case protocol.MsgStateTransfer:
+		c.handleStateTransfer(m)
+	}
+}
+
+// handleBFT feeds an atomic-broadcast message into the current epoch's
+// replica; messages from future epochs are buffered until the local
+// membership change completes.
+func (c *Controller) handleBFT(from simnet.NodeID, m protocol.MsgBFT) {
+	if c.replica == nil {
+		return
+	}
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.BFTCompute)
+	switch {
+	case m.Phase == c.phase:
+		slot := c.memberSlot(pki.Identity(from))
+		if slot < 0 {
+			return
+		}
+		c.replica.Handle(bft.ReplicaID(slot+1), m.Inner.(bft.Message))
+	case m.Phase > c.phase && c.change != nil:
+		c.change.futureBFT = append(c.change.futureBFT, bufferedBFT{from: from, msg: m})
+	}
+}
+
+// handleEventMsg processes an event from a switch or a peer domain
+// (Fig. 7a): verify the source, dedup, forward cross-domain, broadcast.
+func (c *Controller) handleEventMsg(m protocol.MsgEvent) {
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Verify+c.cfg.Cost.MsgProcess)
+	payload := m.Env.Payload
+	if c.cfg.CryptoReal {
+		opened, err := c.cfg.Directory.Open(m.Env)
+		if err != nil {
+			return // unverifiable source: ignore (Fig. 7a)
+		}
+		payload = opened
+	}
+	ev, err := protocol.DecodeEvent(payload)
+	if err != nil {
+		return
+	}
+	key := ev.ID.String()
+	if c.seenEvents[key] {
+		return // previously processed (Fig. 7a)
+	}
+	c.seenEvents[key] = true
+	c.EventsReceived++
+
+	// Inter-domain forwarding: only the deterministic leader forwards, to
+	// avoid n duplicate cross-domain messages; remote domains dedup by
+	// event id regardless.
+	if !ev.Forwarded && c.cfg.DomainOf != nil && c.leaderForForwarding() {
+		c.forwardIfCrossDomain(ev)
+	}
+	c.submitItem(protocol.BroadcastItem{Event: &ev, Phase: c.phase})
+}
+
+// leaderForForwarding reports whether this controller performs the
+// cross-domain forward (aggregator if assigned, else lowest member).
+func (c *Controller) leaderForForwarding() bool {
+	if len(c.members) == 0 {
+		return true
+	}
+	return c.members[0] == c.cfg.ID
+}
+
+// forwardIfCrossDomain relays the event to one controller of each other
+// affected domain, tagged so it is not forwarded again (§4.1).
+func (c *Controller) forwardIfCrossDomain(ev protocol.Event) {
+	if ev.Kind != protocol.EventFlowRequest && ev.Kind != protocol.EventFlowTeardown {
+		return
+	}
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.RouteCompute)
+	mods, err := c.cfg.App.PlanFlow(ev)
+	if err != nil {
+		return
+	}
+	domains := make(map[int]bool)
+	for _, mod := range mods {
+		domains[c.cfg.DomainOf(mod.Switch)] = true
+	}
+	fwd := ev
+	fwd.Forwarded = true
+	payload := fwd.Encode()
+	var env pki.Envelope
+	if c.cfg.CryptoReal {
+		c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Sign)
+		env = c.cfg.Keys.Seal(payload)
+	} else {
+		env = pki.Envelope{From: c.cfg.ID, Payload: payload}
+	}
+	for dom := range domains {
+		if dom == c.cfg.Domain {
+			continue
+		}
+		peers := c.cfg.PeerDomains[dom]
+		if len(peers) == 0 {
+			continue
+		}
+		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(peers[0]),
+			protocol.MsgEvent{Env: env}, len(payload)+96)
+	}
+}
+
+// submitItem hands an item to the atomic broadcast (or delivers it
+// directly in centralized mode).
+func (c *Controller) submitItem(item protocol.BroadcastItem) {
+	payload := item.Encode()
+	if c.cfg.Protocol == ProtoCentralized {
+		c.centralSeq++
+		c.onDeliver(payload)
+		return
+	}
+	if c.replica == nil {
+		return
+	}
+	c.pendingSubmit[string(payload)] = payload
+	c.replica.Submit(payload)
+}
+
+// onDeliver consumes a totally-ordered broadcast item (Fig. 7b).
+func (c *Controller) onDeliver(payload []byte) {
+	if c.stopped {
+		return
+	}
+	delete(c.pendingSubmit, string(payload))
+	item, err := protocol.DecodeBroadcastItem(payload)
+	if err != nil {
+		return
+	}
+	if item.Membership != nil {
+		c.onMembershipDelivered(*item.Membership)
+		return
+	}
+	if item.Event == nil {
+		return
+	}
+	ev := *item.Event
+	key := ev.ID.String()
+	if c.deliveredEvents[key] {
+		return
+	}
+	// Events arriving during a membership change are queued and re-
+	// broadcast in the new phase (§4.3); they are NOT marked delivered.
+	if c.change != nil {
+		c.change.queued = append(c.change.queued, ev)
+		return
+	}
+	c.deliveredEvents[key] = true
+	c.EventsDelivered++
+	c.ledger.Append(audit.KindEvent, key, ev.Encode())
+	c.processEvent(ev)
+}
+
+// processEvent computes, schedules, signs and dispatches this domain's
+// updates for an event.
+func (c *Controller) processEvent(ev protocol.Event) {
+	switch ev.Kind {
+	case protocol.EventMembershipInfo:
+		c.applyMembershipInfo(ev)
+		return
+	case protocol.EventFlowRequest, protocol.EventFlowTeardown,
+		protocol.EventPolicyChange, protocol.EventLinkDown:
+	default:
+		return
+	}
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.RouteCompute)
+	mods, err := c.cfg.App.PlanFlow(ev)
+	if err != nil || len(mods) == 0 {
+		return
+	}
+	// Keep only this domain's switches, preserving path order.
+	local := mods[:0:0]
+	for _, mod := range mods {
+		if c.cfg.DomainOf == nil || c.cfg.DomainOf(mod.Switch) == c.cfg.Domain {
+			local = append(local, mod)
+		}
+	}
+	if len(local) == 0 {
+		return
+	}
+	updates := make([]scheduler.Update, len(local))
+	origin := fmt.Sprintf("%s/d%d", ev.ID, c.cfg.Domain)
+	for i, mod := range local {
+		updates[i] = scheduler.Update{
+			ID:  openflow.MsgID{Origin: origin, Seq: uint64(i)},
+			Mod: mod,
+		}
+	}
+	plan := c.cfg.Sched.Schedule(updates)
+	if err := c.engine.Add(plan); err != nil {
+		return // duplicate plan (event replay): ignore
+	}
+}
+
+// dispatchUpdate signs and sends one ready update (the engine's release
+// callback).
+func (c *Controller) dispatchUpdate(su scheduler.ScheduledUpdate) {
+	mods := []openflow.FlowMod{su.Mod}
+	msg := protocol.MsgUpdate{
+		UpdateID: su.ID,
+		Mods:     mods,
+		Phase:    c.phase,
+		From:     c.cfg.ID,
+	}
+	canonical := openflow.CanonicalUpdateBytes(su.ID, c.phase, mods)
+	if c.cfg.Protocol == ProtoCicero {
+		c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
+		msg.ShareIndex = c.cfg.Share.Index
+		if c.cfg.CryptoReal {
+			share := c.cfg.Scheme.SignShare(c.cfg.Share, canonical)
+			msg.Share = c.cfg.Scheme.Params.PointBytes(share.Point)
+		}
+	}
+	c.ledger.Append(audit.KindUpdate, su.ID.String(), canonical)
+	c.UpdatesSigned++
+	size := 256 * len(mods)
+	if agg := c.aggregatorID(); agg != "" && c.cfg.Protocol == ProtoCicero {
+		if agg == c.cfg.ID {
+			c.handleUpdateShare(msg) // self-delivery without network hop
+			return
+		}
+		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(agg), msg, size)
+		return
+	}
+	c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(su.Mod.Switch), msg, size)
+}
+
+// handleUpdateShare collects controllers' shares when this controller is
+// the aggregator (Fig. 7c), combining and relaying once a quorum arrives.
+func (c *Controller) handleUpdateShare(m protocol.MsgUpdate) {
+	if !c.isAggregator() || c.cfg.Protocol != ProtoCicero {
+		return
+	}
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.MsgProcess)
+	key := fmt.Sprintf("%s|%d", m.UpdateID, m.Phase)
+	col, ok := c.aggPending[key]
+	if !ok {
+		col = &aggCollect{mods: m.Mods, phase: m.Phase, shares: make(map[uint32][]byte)}
+		c.aggPending[key] = col
+	}
+	if col.done || m.ShareIndex == 0 {
+		return
+	}
+	col.shares[m.ShareIndex] = m.Share
+	quorum := c.Quorum()
+	if len(col.shares) < quorum {
+		return
+	}
+	col.done = true
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID),
+		time.Duration(quorum)*c.cfg.Cost.BLSAggregatePerShare+c.cfg.Cost.AggregatorQueue)
+	var sig []byte
+	if c.cfg.CryptoReal {
+		canonical := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, col.mods)
+		shares := make([]bls.SignatureShare, 0, len(col.shares))
+		for idx, raw := range col.shares {
+			pt, err := c.cfg.Scheme.Params.ParsePoint(raw)
+			if err != nil {
+				continue
+			}
+			shares = append(shares, bls.SignatureShare{Index: idx, Point: pt})
+		}
+		combined, err := c.cfg.Scheme.CombineVerified(c.cfg.GroupKey, canonical, shares)
+		if err != nil {
+			col.done = false // wait for more (honest) shares
+			return
+		}
+		sig = c.cfg.Scheme.Params.PointBytes(combined.Point)
+	}
+	if len(col.mods) == 0 {
+		return
+	}
+	out := protocol.MsgAggUpdate{UpdateID: m.UpdateID, Mods: col.mods, Phase: m.Phase, Signature: sig}
+	c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(col.mods[0].Switch), out, 256*len(col.mods))
+}
+
+// handleAckMsg verifies a switch acknowledgement and releases dependents
+// (Fig. 7b's loop).
+func (c *Controller) handleAckMsg(m protocol.MsgAck) {
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Verify+c.cfg.Cost.MsgProcess)
+	payload := m.Env.Payload
+	if c.cfg.CryptoReal {
+		opened, err := c.cfg.Directory.Open(m.Env)
+		if err != nil {
+			return
+		}
+		payload = opened
+	}
+	ack, err := protocol.DecodeAck(payload)
+	if err != nil || !ack.Applied {
+		return
+	}
+	c.AcksReceived++
+	c.engine.Ack(ack.UpdateID)
+}
+
+// applyMembershipInfo updates the peer-domain controller view (§4.3 final
+// step): the Info payload carries "domain|member1|member2|...".
+func (c *Controller) applyMembershipInfo(ev protocol.Event) {
+	var dom int
+	var rest string
+	if _, err := fmt.Sscanf(ev.Info, "%d|%s", &dom, &rest); err != nil {
+		return
+	}
+	var members []pki.Identity
+	for _, part := range splitNonEmpty(rest, '|') {
+		members = append(members, pki.Identity(part))
+	}
+	if c.cfg.PeerDomains == nil {
+		c.cfg.PeerDomains = make(map[int][]pki.Identity)
+	}
+	c.cfg.PeerDomains[dom] = members
+}
+
+// splitNonEmpty splits s on sep, dropping empty parts.
+func splitNonEmpty(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// PushConfig initiates a threshold-signed configuration push to this
+// domain's switches for the current phase. Every member contributes a
+// share; the lowest member combines and sends (bootstrap and after every
+// membership change).
+func (c *Controller) PushConfig() {
+	if c.cfg.Protocol != ProtoCicero {
+		// Baselines: the (single or unauthenticated) control plane just
+		// tells switches its membership.
+		if c.leaderForForwarding() {
+			cfgMsg := protocol.MsgConfig{Phase: c.phase, Quorum: 1, Members: c.members}
+			for _, sw := range c.cfg.Switches {
+				c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(sw), cfgMsg, 256)
+			}
+		}
+		return
+	}
+	canonical := protocol.ConfigBytes(c.phase, c.Quorum(), c.members, c.aggregatorID())
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
+	share := protocol.MsgConfigShare{
+		Phase:      c.phase,
+		Quorum:     c.Quorum(),
+		Members:    c.members,
+		Aggregator: c.aggregatorID(),
+		ShareIndex: c.cfg.Share.Index,
+	}
+	if c.cfg.CryptoReal {
+		sigShare := c.cfg.Scheme.SignShare(c.cfg.Share, canonical)
+		share.Share = c.cfg.Scheme.Params.PointBytes(sigShare.Point)
+	}
+	leader := c.members[0]
+	if leader == c.cfg.ID {
+		c.handleConfigShare(share)
+		return
+	}
+	c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(leader), share, 512)
+}
+
+// handleConfigShare collects config shares at the leader and pushes the
+// combined configuration to switches once a quorum signs it. Shares from
+// a phase this controller has not reached yet are buffered (peers may
+// finish a reshare slightly earlier).
+func (c *Controller) handleConfigShare(m protocol.MsgConfigShare) {
+	if m.Phase > c.phase {
+		c.earlyConfig = append(c.earlyConfig, m)
+		return
+	}
+	if len(c.members) == 0 || c.members[0] != c.cfg.ID || m.Phase != c.phase {
+		return
+	}
+	shares, ok := c.configShares[m.Phase]
+	if !ok {
+		shares = make(map[uint32][]byte)
+		c.configShares[m.Phase] = shares
+	}
+	if _, done := shares[0]; done {
+		return // sentinel: already pushed
+	}
+	shares[m.ShareIndex] = m.Share
+	quorum := c.Quorum()
+	if len(shares) < quorum {
+		return
+	}
+	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID),
+		time.Duration(quorum)*c.cfg.Cost.BLSAggregatePerShare)
+	var sig []byte
+	if c.cfg.CryptoReal {
+		canonical := protocol.ConfigBytes(c.phase, quorum, c.members, c.aggregatorID())
+		blsShares := make([]bls.SignatureShare, 0, len(shares))
+		for idx, raw := range shares {
+			if idx == 0 {
+				continue
+			}
+			pt, err := c.cfg.Scheme.Params.ParsePoint(raw)
+			if err != nil {
+				continue
+			}
+			blsShares = append(blsShares, bls.SignatureShare{Index: idx, Point: pt})
+		}
+		combined, err := c.cfg.Scheme.CombineVerified(c.cfg.GroupKey, canonical, blsShares)
+		if err != nil {
+			return
+		}
+		sig = c.cfg.Scheme.Params.PointBytes(combined.Point)
+	}
+	shares[0] = nil // sentinel
+	out := protocol.MsgConfig{
+		Phase:      c.phase,
+		Quorum:     quorum,
+		Members:    c.members,
+		Aggregator: c.aggregatorID(),
+		GroupKey:   c.cfg.GroupKey,
+		Signature:  sig,
+	}
+	for _, sw := range c.cfg.Switches {
+		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(sw), out, 512)
+	}
+}
+
+// PeerView returns this controller's view of another domain's control
+// plane (for event forwarding); membership notices update it.
+func (c *Controller) PeerView(domain int) []pki.Identity {
+	return append([]pki.Identity(nil), c.cfg.PeerDomains[domain]...)
+}
+
+// AuditRecords returns the controller's decision ledger for auditing
+// (the §7 future-work mechanism; see internal/audit).
+func (c *Controller) AuditRecords() []audit.Record {
+	return c.ledger.Records()
+}
+
+// InjectEvent lets the simulation driver present an administrator event
+// (policy change, link failure) directly to this controller, as if
+// received from a verified source.
+func (c *Controller) InjectEvent(ev protocol.Event) {
+	key := ev.ID.String()
+	if c.seenEvents[key] {
+		return
+	}
+	c.seenEvents[key] = true
+	c.EventsReceived++
+	if !ev.Forwarded && c.cfg.DomainOf != nil && c.leaderForForwarding() {
+		c.forwardIfCrossDomain(ev)
+	}
+	c.submitItem(protocol.BroadcastItem{Event: &ev, Phase: c.phase})
+}

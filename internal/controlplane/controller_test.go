@@ -1,0 +1,226 @@
+package controlplane
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"cicero/internal/openflow"
+	"cicero/internal/protocol"
+	"cicero/internal/routing"
+	"cicero/internal/scheduler"
+	"cicero/internal/simnet"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/dkg"
+	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/tcrypto/pki"
+	"cicero/internal/topology"
+)
+
+// lineGraph builds h1 - s1 - s2 - s3 - h2.
+func lineGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph()
+	for _, id := range []string{"s1", "s2", "s3"} {
+		g.AddNode(topology.Node{ID: id, Kind: topology.KindToR})
+	}
+	g.AddNode(topology.Node{ID: "h1", Kind: topology.KindHost})
+	g.AddNode(topology.Node{ID: "h2", Kind: topology.KindHost})
+	for _, l := range [][2]string{{"h1", "s1"}, {"s1", "s2"}, {"s2", "s3"}, {"s3", "h2"}} {
+		if err := g.AddLink(l[0], l[1], 100*time.Microsecond, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// stubSwitch records updates and acks them immediately.
+type stubSwitch struct {
+	id       string
+	net      *simnet.Network
+	keys     *pki.KeyPair
+	updates  []protocol.MsgUpdate
+	acksSent int
+	members  []pki.Identity
+}
+
+func (s *stubSwitch) HandleMessage(from simnet.NodeID, msg simnet.Message) {
+	if m, ok := msg.(protocol.MsgUpdate); ok {
+		s.updates = append(s.updates, m)
+		ack := protocol.Ack{UpdateID: m.UpdateID, Switch: s.id, Applied: true}
+		env := s.keys.Seal(ack.Encode())
+		s.acksSent++
+		for _, ctl := range s.members {
+			s.net.Send(simnet.NodeID(s.id), simnet.NodeID(ctl), protocol.MsgAck{Env: env}, 128)
+		}
+	}
+}
+
+func TestCiceroQuorumFormula(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{4, 2}, {5, 2}, {6, 2}, {7, 3}, {9, 3}, {10, 4}, {13, 5},
+	} {
+		if got := CiceroQuorum(tc.n); got != tc.want {
+			t.Errorf("CiceroQuorum(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sim := simnet.NewSimulator(1)
+	net := simnet.NewNetwork(sim, time.Millisecond)
+	keys, _ := pki.NewKeyPair(rand.Reader, "c")
+	dir := pki.NewDirectory()
+	g := lineGraph(t)
+	app := &routing.ShortestPath{Graph: g}
+
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{ID: "c", Net: net, Keys: keys, Directory: dir}); err == nil {
+		t.Error("missing app accepted")
+	}
+	if _, err := New(Config{
+		ID: "c", Net: net, Keys: keys, Directory: dir,
+		App: app, Sched: scheduler.ReversePath{},
+		Protocol: ProtoCicero, Members: []pki.Identity{"c", "d", "e"},
+	}); err == nil {
+		t.Error("cicero with 3 members accepted")
+	}
+}
+
+// TestCentralizedDependencyOrderedDispatch drives a centralized controller
+// with a stub switch: updates must be released in reverse-path order,
+// gated on acks.
+func TestCentralizedDependencyOrderedDispatch(t *testing.T) {
+	sim := simnet.NewSimulator(1)
+	net := simnet.NewNetwork(sim, 100*time.Microsecond)
+	dir := pki.NewDirectory()
+	g := lineGraph(t)
+
+	ctlKeys, _ := pki.NewKeyPair(rand.Reader, "ctl")
+	dir.MustRegister(ctlKeys)
+	ctl, err := New(Config{
+		ID:        "ctl",
+		Members:   []pki.Identity{"ctl"},
+		Net:       net,
+		Keys:      ctlKeys,
+		Directory: dir,
+		Protocol:  ProtoCentralized,
+		App:       &routing.ShortestPath{Graph: g},
+		Sched:     scheduler.ReversePath{},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_ = ctl
+
+	stubs := make(map[string]*stubSwitch)
+	for _, id := range []string{"s1", "s2", "s3"} {
+		keys, _ := pki.NewKeyPair(rand.Reader, pki.Identity(id))
+		dir.MustRegister(keys)
+		st := &stubSwitch{id: id, net: net, keys: keys, members: []pki.Identity{"ctl"}}
+		stubs[id] = st
+		net.Register(simnet.NodeID(id), st)
+	}
+
+	swKeys, _ := pki.NewKeyPair(rand.Reader, "origin")
+	dir.MustRegister(swKeys)
+	ev := protocol.Event{
+		ID:   openflow.MsgID{Origin: "origin", Seq: 1},
+		Kind: protocol.EventFlowRequest,
+		Src:  "h1", Dst: "h2",
+	}
+	ctl.InjectEvent(ev)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each switch got exactly one update.
+	for id, st := range stubs {
+		if len(st.updates) != 1 {
+			t.Fatalf("switch %s got %d updates, want 1", id, len(st.updates))
+		}
+	}
+	if ctl.EventsDelivered != 1 || ctl.AcksReceived != 3 {
+		t.Fatalf("delivered=%d acks=%d, want 1/3", ctl.EventsDelivered, ctl.AcksReceived)
+	}
+	// Duplicate injection is deduplicated.
+	ctl.InjectEvent(ev)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.EventsDelivered != 1 {
+		t.Fatal("duplicate event processed twice")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a|b|c", []string{"a", "b", "c"}},
+		{"|a||b|", []string{"a", "b"}},
+		{"", nil},
+		{"solo", []string{"solo"}},
+	}
+	for _, c := range cases {
+		got := splitNonEmpty(c.in, '|')
+		if len(got) != len(c.want) {
+			t.Fatalf("splitNonEmpty(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitNonEmpty(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRequestAddControllerGuards(t *testing.T) {
+	sim := simnet.NewSimulator(1)
+	net := simnet.NewNetwork(sim, time.Millisecond)
+	dir := pki.NewDirectory()
+	g := lineGraph(t)
+	scheme := bls.NewScheme(pairing.Fast254())
+	gk, shares, err := dkg.Run(scheme, rand.Reader, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []pki.Identity{"c1", "c2", "c3", "c4"}
+	ctls := make([]*Controller, len(members))
+	for i, id := range members {
+		keys, _ := pki.NewKeyPair(rand.Reader, id)
+		dir.MustRegister(keys)
+		c, err := New(Config{
+			ID: id, Members: members, Net: net, Keys: keys, Directory: dir,
+			Protocol: ProtoCicero, Scheme: scheme, GroupKey: gk, Share: shares[i],
+			App: &routing.ShortestPath{Graph: g}, Sched: scheduler.ReversePath{},
+			Bootstrap: i == 0,
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", id, err)
+		}
+		ctls[i] = c
+	}
+	// Non-bootstrap members may not initiate additions.
+	if err := ctls[1].RequestAddController("c5"); err == nil {
+		t.Error("non-bootstrap addition accepted")
+	}
+	// Adding an existing member is refused.
+	if err := ctls[0].RequestAddController("c2"); err == nil {
+		t.Error("duplicate member addition accepted")
+	}
+	// Removing a non-member is refused.
+	if err := ctls[0].RequestRemoveController("ghost"); err == nil {
+		t.Error("non-member removal accepted")
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if ProtoCentralized.String() != "centralized" ||
+		ProtoCrash.String() != "crash-tolerant" ||
+		ProtoCicero.String() != "cicero" {
+		t.Fatal("bad protocol names")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/protocol"
+	"cicero/internal/scheduler"
+	"cicero/internal/topology"
+	"cicero/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: what
+// each Cicero ingredient costs relative to the alternatives. Run with
+//
+//	go test ./internal/core -bench=Ablation -benchmem
+
+// benchTopology is a small pod reused across ablations.
+func benchTopology(b *testing.B) *topology.Graph {
+	b.Helper()
+	cfg := topology.DefaultFabricConfig()
+	cfg.RacksPerPod = 6
+	cfg.HostsPerRack = 2
+	g, err := topology.BuildSinglePod(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchFlows generates a short deterministic trace.
+func benchFlows(b *testing.B, g *topology.Graph) []workload.Flow {
+	b.Helper()
+	flows, err := workload.Generate(g, workload.Config{
+		Mix:              workload.HadoopMix(),
+		Flows:            100,
+		MeanInterarrival: time.Millisecond,
+		Seed:             5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return flows
+}
+
+// runAblation builds and runs one configuration per iteration.
+func runAblation(b *testing.B, mutate func(*Config)) {
+	b.Helper()
+	g := benchTopology(b)
+	flows := benchFlows(b, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Graph:    g,
+			Protocol: controlplane.ProtoCicero,
+			Cost:     protocol.Calibrated(),
+			Seed:     5,
+		}
+		mutate(&cfg)
+		n, err := Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n.RunFlows(flows, RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSchedulerReversePath measures the consistency
+// scheduler's cost: dependent updates serialize on acknowledgements.
+func BenchmarkAblationSchedulerReversePath(b *testing.B) {
+	runAblation(b, func(c *Config) { c.Scheduler = scheduler.ReversePath{} })
+}
+
+// BenchmarkAblationSchedulerImmediate is the unordered (inconsistent)
+// alternative: all updates in parallel, no ack gating.
+func BenchmarkAblationSchedulerImmediate(b *testing.B) {
+	runAblation(b, func(c *Config) { c.Scheduler = scheduler.Immediate{} })
+}
+
+// BenchmarkAblationAggregationSwitch has switches aggregate shares.
+func BenchmarkAblationAggregationSwitch(b *testing.B) {
+	runAblation(b, func(c *Config) { c.Aggregation = controlplane.AggSwitch })
+}
+
+// BenchmarkAblationAggregationController funnels shares through the
+// aggregator controller.
+func BenchmarkAblationAggregationController(b *testing.B) {
+	runAblation(b, func(c *Config) { c.Aggregation = controlplane.AggController })
+}
+
+// BenchmarkAblationOrderingBFT isolates the atomic-broadcast choice: the
+// full Byzantine ordering used by Cicero...
+func BenchmarkAblationOrderingBFT(b *testing.B) {
+	runAblation(b, func(c *Config) { c.Protocol = controlplane.ProtoCicero })
+}
+
+// BenchmarkAblationOrderingCrash ...versus crash-tolerant ordering with
+// no update authentication (the security ablation).
+func BenchmarkAblationOrderingCrash(b *testing.B) {
+	runAblation(b, func(c *Config) { c.Protocol = controlplane.ProtoCrash })
+}
+
+// BenchmarkAblationRealCrypto prices executing the actual pairing-based
+// threshold signatures instead of charging simulated time only.
+func BenchmarkAblationRealCrypto(b *testing.B) {
+	runAblation(b, func(c *Config) { c.CryptoReal = true })
+}
+
+// BenchmarkAblationDomainSplit prices splitting one pod's control plane
+// into rack-partitioned domains (intra-pod parallelism).
+func BenchmarkAblationDomainSplit(b *testing.B) {
+	runAblation(b, func(c *Config) {
+		c.NumDomains = 2
+		c.DomainOf = func(n *topology.Node) int {
+			if n.Kind == topology.KindToR && n.Rack >= 3 {
+				return 1
+			}
+			return 0
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Package core assembles complete Cicero deployments on the simulator:
+// topology, domains with their control planes and threshold keys, the
+// data-plane switches, and the flow driver that measures the paper's
+// metrics (flow completion time, update time, per-domain event counts,
+// switch CPU utilization).
+//
+// It is the implementation behind the repository's public facade (package
+// cicero at the module root).
+package core
+
+import (
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/protocol"
+	"cicero/internal/routing"
+	"cicero/internal/scheduler"
+	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/topology"
+)
+
+// Config assembles a deployment.
+type Config struct {
+	// Graph is the data-plane topology (required).
+	Graph *topology.Graph
+
+	// Protocol selects centralized / crash-tolerant / Cicero.
+	Protocol controlplane.Protocol
+	// Aggregation selects switch- or controller-side aggregation (§4.2);
+	// it only applies to ProtoCicero.
+	Aggregation controlplane.Aggregation
+
+	// ControllersPerDomain sizes each domain's control plane (paper: 4;
+	// a centralized deployment forces 1).
+	ControllersPerDomain int
+
+	// DomainOf maps a topology node to its update domain (§3.3). Nil
+	// puts everything in domain 0. Hosts inherit their switch's domain
+	// implicitly — only switches matter.
+	DomainOf func(n *topology.Node) int
+	// NumDomains is the number of domains DomainOf maps onto.
+	NumDomains int
+
+	// Scheduler orders updates; nil defaults to the paper's reverse-path
+	// scheduler.
+	Scheduler scheduler.Scheduler
+	// AppFactory overrides the routing application (default: shortest
+	// path). It is called once per controller replica so stateful apps
+	// stay replica-local.
+	AppFactory func() routing.App
+	// Jitter adds uniform random latency jitter as a fraction of each
+	// link's latency, making transient-inconsistency windows observable.
+	Jitter float64
+	// PairRules makes the routing app install per-flow-pair rules, needed
+	// by the unamortized setup/teardown mode.
+	PairRules bool
+
+	// Cost is the simulated-time cost model; zero value charges nothing.
+	Cost protocol.CostModel
+	// CryptoReal executes real signatures end to end.
+	CryptoReal bool
+	// Params selects the pairing parameter set; nil defaults to Fast254.
+	Params *pairing.Params
+
+	// Seed drives all simulation randomness.
+	Seed int64
+
+	// LANLatency is the one-way latency between co-located nodes
+	// (controller to controller of one domain, controller to its pod's
+	// switches, in addition to fabric path latency).
+	LANLatency time.Duration
+	// ViewChangeTimeout bounds atomic-broadcast stalls (liveness under
+	// controller failure).
+	ViewChangeTimeout time.Duration
+	// FailureDetector enables heartbeats when non-nil.
+	FailureDetector *controlplane.FailureDetectorConfig
+}
+
+// Defaulted returns the config with defaults applied.
+func (c Config) Defaulted() Config {
+	if c.Protocol == 0 {
+		c.Protocol = controlplane.ProtoCicero
+	}
+	if c.Aggregation == 0 {
+		c.Aggregation = controlplane.AggSwitch
+	}
+	if c.ControllersPerDomain == 0 {
+		c.ControllersPerDomain = 4
+	}
+	if c.Protocol == controlplane.ProtoCentralized {
+		c.ControllersPerDomain = 1
+	}
+	if c.NumDomains == 0 {
+		c.NumDomains = 1
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = scheduler.ReversePath{}
+	}
+	if c.Params == nil {
+		c.Params = pairing.Fast254()
+	}
+	if c.LANLatency == 0 {
+		c.LANLatency = 100 * time.Microsecond
+	}
+	if c.ViewChangeTimeout == 0 {
+		c.ViewChangeTimeout = 50 * time.Millisecond
+	}
+	return c
+}
+
+// ByPod maps switches to one domain per (dc, pod) pair, the paper's §6.3
+// deployment. Fabric-level nodes (spines, interconnects, cores) go to the
+// dedicated interconnect domain, which is the last domain index.
+func ByPod(podsPerDC, interconnectDomain int) func(n *topology.Node) int {
+	return func(n *topology.Node) int {
+		if n.Pod < 0 {
+			return interconnectDomain
+		}
+		return n.DC*podsPerDC + n.Pod
+	}
+}

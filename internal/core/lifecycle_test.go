@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/protocol"
+	"cicero/internal/simnet"
+	"cicero/internal/topology"
+	"cicero/internal/workload"
+)
+
+// Longer-horizon control-plane lifecycle scenarios.
+
+// TestReAddAfterRemoval exercises the paper's §4.3 note that previously
+// removed controllers can rejoin: a member is removed, then a replacement
+// is admitted (identifiers are never reused, so it joins under a fresh
+// identity), and the data plane keeps working throughout.
+func TestReAddAfterRemoval(t *testing.T) {
+	cfg := topology.DefaultFabricConfig()
+	cfg.RacksPerPod = 3
+	g, err := topology.BuildSinglePod(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(Config{
+		Graph:                g,
+		Protocol:             controlplane.ProtoCicero,
+		ControllersPerDomain: 5,
+		Cost:                 protocol.Calibrated(),
+		CryptoReal:           true,
+		Seed:                 81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := n.Domains[0]
+	originalPK := dom.GroupKey.PK.Point
+
+	// Phase 1: remove member 5.
+	victim := dom.Members[4]
+	n.Net.Crash(simnet.NodeID(victim))
+	dom.Controllers[4].Stop()
+	if err := dom.Controllers[1].RequestRemoveController(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dom.Controllers[0].Members()); got != 4 {
+		t.Fatalf("after removal: %d members, want 4", got)
+	}
+
+	// Phase 2: admit a replacement under a fresh identifier.
+	replacement := addJoiner(t, n, &Domain{
+		Index:    dom.Index,
+		Members:  dom.Controllers[0].Members(),
+		GroupKey: dom.Controllers[0].GroupKey(),
+		Switches: dom.Switches,
+		Site:     dom.Site,
+	}, ControllerName(0, 6))
+	if err := dom.Controllers[0].RequestAddController(replacement.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replacement.Phase() != 2 {
+		t.Fatalf("replacement phase = %d, want 2", replacement.Phase())
+	}
+	if got := len(replacement.Members()); got != 5 {
+		t.Fatalf("after re-add: %d members, want 5", got)
+	}
+	if !replacement.GroupKey().PK.Point.Equal(originalPK) {
+		t.Fatal("public key drifted across remove+add")
+	}
+
+	// Phase 3: flows still complete with real crypto under the twice-
+	// reshared key.
+	results, err := n.RunFlows([]workload.Flow{{
+		ID: 1, Src: topology.HostName(0, 0, 0, 0), Dst: topology.HostName(0, 0, 2, 0), SizeKB: 32,
+	}}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].SetupDelay == 0 {
+		t.Fatalf("post-lifecycle flow failed: %+v", results)
+	}
+	for _, sw := range n.Switches {
+		if sw.UpdatesRejected != 0 {
+			t.Fatalf("switch %s rejected honest updates after lifecycle", sw.ID())
+		}
+	}
+}
+
+// TestLargeControlPlaneEndToEnd runs flows under a 7-member control plane
+// (f=2, quorum t=3), the paper's "five nines with 2 concurrent failures"
+// configuration, with two members crashed.
+func TestLargeControlPlaneEndToEnd(t *testing.T) {
+	cfg := topology.DefaultFabricConfig()
+	cfg.RacksPerPod = 3
+	g, err := topology.BuildSinglePod(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(Config{
+		Graph:                g,
+		Protocol:             controlplane.ProtoCicero,
+		ControllersPerDomain: 7,
+		Cost:                 protocol.Calibrated(),
+		CryptoReal:           true,
+		Seed:                 83,
+		ViewChangeTimeout:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := n.Domains[0]
+	if q := dom.Controllers[0].Quorum(); q != 3 {
+		t.Fatalf("quorum = %d, want 3", q)
+	}
+	// Crash two members (the tolerated maximum), including the primary.
+	for _, i := range []int{0, 5} {
+		n.Net.Crash(simnet.NodeID(dom.Members[i]))
+		dom.Controllers[i].Stop()
+	}
+	flows := []workload.Flow{
+		{ID: 1, Src: topology.HostName(0, 0, 0, 0), Dst: topology.HostName(0, 0, 1, 0), SizeKB: 16},
+		{ID: 2, Src: topology.HostName(0, 0, 1, 0), Dst: topology.HostName(0, 0, 2, 0), SizeKB: 16, Start: 60 * time.Millisecond},
+	}
+	results, err := n.RunFlows(flows, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("completed %d flows under f=2 crashes, want 2", len(results))
+	}
+}
+
+// TestFig11bSmoke keeps the web-server experiment covered end to end.
+func TestFig11bStyleWebWorkload(t *testing.T) {
+	g := smallPod(t)
+	flows, err := workload.Generate(g, workload.Config{
+		Mix:              workload.WebServerMix(),
+		Flows:            80,
+		MeanInterarrival: time.Millisecond,
+		Seed:             85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []controlplane.Protocol{controlplane.ProtoCentralized, controlplane.ProtoCicero} {
+		ctls := 4
+		if proto == controlplane.ProtoCentralized {
+			ctls = 1
+		}
+		n, err := Build(Config{
+			Graph:                g,
+			Protocol:             proto,
+			ControllersPerDomain: ctls,
+			Cost:                 protocol.Calibrated(),
+			Seed:                 85,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := n.RunFlows(flows, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(flows) {
+			t.Fatalf("%v: completed %d/%d", proto, len(results), len(flows))
+		}
+	}
+}

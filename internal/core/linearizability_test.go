@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/protocol"
+	"cicero/internal/topology"
+	"cicero/internal/workload"
+)
+
+// The paper proves (§4.4) that Cicero provides event-linearizability:
+// its execution is indistinguishable from a correct sequential execution
+// of a single controller enforcing the same updates. This test checks the
+// property operationally: the same flow trace run through the replicated
+// Byzantine-tolerant deployment and through the sequential centralized
+// reference must leave every switch with an equivalent flow table.
+
+// tableFingerprint canonically serializes a switch's rules.
+func tableFingerprint(n *Network, sw string) string {
+	rules := n.Switches[sw].Table().Rules()
+	lines := make([]string, len(rules))
+	for i, r := range rules {
+		lines[i] = r.String()
+	}
+	sort.Strings(lines)
+	return fmt.Sprint(lines)
+}
+
+func TestEventLinearizabilityAgainstSequentialReference(t *testing.T) {
+	cfg := topology.DefaultFabricConfig()
+	cfg.RacksPerPod = 6
+	cfg.HostsPerRack = 2
+	g, err := topology.BuildSinglePod(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := workload.Generate(g, workload.Config{
+		Mix:              workload.HadoopMix(),
+		Flows:            120,
+		MeanInterarrival: time.Millisecond,
+		Seed:             17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(proto controlplane.Protocol, agg controlplane.Aggregation, ctls int) *Network {
+		n, err := Build(Config{
+			Graph:                g,
+			Protocol:             proto,
+			Aggregation:          agg,
+			ControllersPerDomain: ctls,
+			Cost:                 protocol.Calibrated(),
+			Seed:                 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.RunFlows(flows, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	reference := run(controlplane.ProtoCentralized, 0, 1)
+	cicero := run(controlplane.ProtoCicero, controlplane.AggSwitch, 4)
+	ciceroAgg := run(controlplane.ProtoCicero, controlplane.AggController, 4)
+
+	for _, node := range g.NodesOfKind(topology.KindToR) {
+		want := tableFingerprint(reference, node.ID)
+		if got := tableFingerprint(cicero, node.ID); got != want {
+			t.Fatalf("switch %s diverged from sequential reference:\nref:    %s\ncicero: %s",
+				node.ID, want, got)
+		}
+		if got := tableFingerprint(ciceroAgg, node.ID); got != want {
+			t.Fatalf("switch %s (agg mode) diverged from sequential reference", node.ID)
+		}
+	}
+	for _, node := range g.NodesOfKind(topology.KindEdge) {
+		want := tableFingerprint(reference, node.ID)
+		if got := tableFingerprint(cicero, node.ID); got != want {
+			t.Fatalf("edge switch %s diverged from sequential reference", node.ID)
+		}
+	}
+}
+
+// TestLinearizabilityUnderControllerCrash repeats the check with one of
+// the four controllers crashed mid-trace: the surviving quorum must still
+// drive the data plane to the reference state.
+func TestLinearizabilityUnderControllerCrash(t *testing.T) {
+	cfg := topology.DefaultFabricConfig()
+	cfg.RacksPerPod = 4
+	cfg.HostsPerRack = 1
+	g, err := topology.BuildSinglePod(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := workload.Generate(g, workload.Config{
+		Mix:              workload.HadoopMix(),
+		Flows:            60,
+		MeanInterarrival: time.Millisecond,
+		Seed:             19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := Build(Config{
+		Graph: g, Protocol: controlplane.ProtoCentralized,
+		Cost: protocol.Calibrated(), Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reference.RunFlows(flows, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed, err := Build(Config{
+		Graph: g, Protocol: controlplane.ProtoCicero,
+		Cost: protocol.Calibrated(), Seed: 19,
+		ViewChangeTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash a non-primary controller a third of the way in.
+	dom := crashed.Domains[0]
+	crashed.Sim.Schedule(flows[len(flows)/3].Start, func() {
+		crashed.Net.Crash("dom0/ctl/4")
+		dom.Controllers[3].Stop()
+	})
+	if _, err := crashed.RunFlows(flows, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range g.NodesOfKind(topology.KindToR) {
+		if tableFingerprint(reference, node.ID) != tableFingerprint(crashed, node.ID) {
+			t.Fatalf("switch %s diverged under controller crash", node.ID)
+		}
+	}
+}

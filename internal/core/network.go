@@ -1,0 +1,282 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/dataplane"
+	"cicero/internal/routing"
+	"cicero/internal/simnet"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/dkg"
+	"cicero/internal/tcrypto/pki"
+	"cicero/internal/topology"
+)
+
+// Domain is one update domain: a slice of the data plane plus its own
+// control plane, atomic-broadcast group, and threshold key.
+type Domain struct {
+	Index       int
+	Members     []pki.Identity
+	Controllers []*controlplane.Controller
+	GroupKey    *bls.GroupKey
+	Shares      []bls.KeyShare
+	Switches    []string
+	// Site is the graph node controllers of this domain are co-located
+	// with (for latency derivation).
+	Site string
+}
+
+// Network is an assembled deployment.
+type Network struct {
+	Cfg       Config
+	Sim       *simnet.Simulator
+	Net       *simnet.Network
+	Graph     *topology.Graph
+	Domains   []*Domain
+	Directory *pki.Directory
+	Scheme    *bls.Scheme
+
+	Switches map[string]*dataplane.Switch
+	// domainOfSwitch caches switch -> domain.
+	domainOfSwitch map[string]int
+	// site maps every simnet node to its graph location.
+	site map[string]string
+	// distCache memoizes site-to-site fabric latencies.
+	distCache map[[2]string]time.Duration
+
+	results []FlowResult
+	flowSeq uint64
+}
+
+// ControllerName returns the canonical controller identity.
+func ControllerName(domain, idx int) pki.Identity {
+	return pki.Identity(fmt.Sprintf("dom%d/ctl/%d", domain, idx))
+}
+
+// Build assembles a deployment from the config.
+func Build(cfg Config) (*Network, error) {
+	cfg = cfg.Defaulted()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("core: Graph is required")
+	}
+	if cfg.Protocol == controlplane.ProtoCicero && cfg.ControllersPerDomain < 4 {
+		return nil, fmt.Errorf("core: cicero requires >= 4 controllers per domain, got %d", cfg.ControllersPerDomain)
+	}
+	sim := simnet.NewSimulator(cfg.Seed)
+	net := simnet.NewNetwork(sim, cfg.LANLatency)
+	n := &Network{
+		Cfg:            cfg,
+		Sim:            sim,
+		Net:            net,
+		Graph:          cfg.Graph,
+		Directory:      pki.NewDirectory(),
+		Scheme:         bls.NewScheme(cfg.Params),
+		Switches:       make(map[string]*dataplane.Switch),
+		domainOfSwitch: make(map[string]int),
+		site:           make(map[string]string),
+		distCache:      make(map[[2]string]time.Duration),
+	}
+	net.Latency = n.latency
+	net.JitterFrac = cfg.Jitter
+
+	// Partition switches into domains.
+	domainSwitches := make([][]string, cfg.NumDomains)
+	for _, node := range cfg.Graph.Nodes() {
+		if node.Kind == topology.KindHost {
+			continue
+		}
+		dom := 0
+		if cfg.DomainOf != nil {
+			dom = cfg.DomainOf(node)
+		}
+		if dom < 0 || dom >= cfg.NumDomains {
+			return nil, fmt.Errorf("core: DomainOf(%s) = %d out of range 0..%d", node.ID, dom, cfg.NumDomains-1)
+		}
+		domainSwitches[dom] = append(domainSwitches[dom], node.ID)
+		n.domainOfSwitch[node.ID] = dom
+		n.site[node.ID] = node.ID
+	}
+
+	// Peer-domain controller lists for event forwarding.
+	peerDomains := make(map[int][]pki.Identity, cfg.NumDomains)
+	for dom := 0; dom < cfg.NumDomains; dom++ {
+		members := make([]pki.Identity, cfg.ControllersPerDomain)
+		for i := range members {
+			members[i] = ControllerName(dom, i+1)
+		}
+		peerDomains[dom] = members
+	}
+
+	domainOfSwitchFn := func(sw string) int { return n.domainOfSwitch[sw] }
+	quorum := controlplane.CiceroQuorum(cfg.ControllersPerDomain)
+
+	for dom := 0; dom < cfg.NumDomains; dom++ {
+		d := &Domain{Index: dom, Members: peerDomains[dom], Switches: domainSwitches[dom]}
+		if len(d.Switches) > 0 {
+			d.Site = d.Switches[0]
+		}
+		// Threshold key material via DKG (no dealer ever knows the key).
+		if cfg.Protocol == controlplane.ProtoCicero {
+			gk, shares, err := dkg.Run(n.Scheme, rand.Reader, quorum, cfg.ControllersPerDomain)
+			if err != nil {
+				return nil, fmt.Errorf("core: domain %d DKG: %w", dom, err)
+			}
+			d.GroupKey = gk
+			d.Shares = shares
+		}
+
+		// Controllers.
+		var aggregator pki.Identity
+		if cfg.Protocol == controlplane.ProtoCicero && cfg.Aggregation == controlplane.AggController {
+			aggregator = d.Members[0]
+		}
+		for i, id := range d.Members {
+			keys, err := pki.NewKeyPair(rand.Reader, id)
+			if err != nil {
+				return nil, fmt.Errorf("core: keygen %s: %w", id, err)
+			}
+			n.Directory.MustRegister(keys)
+			n.site[string(id)] = d.Site
+			ctlCfg := controlplane.Config{
+				ID:                id,
+				Domain:            dom,
+				Members:           d.Members,
+				Net:               net,
+				Cost:              cfg.Cost,
+				Keys:              keys,
+				Directory:         n.Directory,
+				Protocol:          cfg.Protocol,
+				Aggregation:       cfg.Aggregation,
+				App:               n.newApp(),
+				Sched:             cfg.Scheduler,
+				PeerDomains:       clonePeers(peerDomains),
+				Switches:          d.Switches,
+				CryptoReal:        cfg.CryptoReal,
+				Bootstrap:         i == 0,
+				ViewChangeTimeout: cfg.ViewChangeTimeout,
+				FailureDetector:   cfg.FailureDetector,
+			}
+			if cfg.NumDomains > 1 {
+				ctlCfg.DomainOf = domainOfSwitchFn
+			}
+			if cfg.Protocol == controlplane.ProtoCicero {
+				ctlCfg.Scheme = n.Scheme
+				ctlCfg.GroupKey = d.GroupKey
+				ctlCfg.Share = d.Shares[i]
+			}
+			ctl, err := controlplane.New(ctlCfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: controller %s: %w", id, err)
+			}
+			d.Controllers = append(d.Controllers, ctl)
+		}
+
+		// Switches.
+		for _, swID := range d.Switches {
+			keys, err := pki.NewKeyPair(rand.Reader, pki.Identity(swID))
+			if err != nil {
+				return nil, fmt.Errorf("core: keygen %s: %w", swID, err)
+			}
+			n.Directory.MustRegister(keys)
+			mode := dataplane.ModeUnsigned
+			if cfg.Protocol == controlplane.ProtoCicero {
+				if cfg.Aggregation == controlplane.AggController {
+					mode = dataplane.ModeAggregated
+				} else {
+					mode = dataplane.ModeThreshold
+				}
+			}
+			swCfg := dataplane.Config{
+				ID:          swID,
+				Net:         net,
+				Cost:        cfg.Cost,
+				Mode:        mode,
+				Keys:        keys,
+				Directory:   n.Directory,
+				Controllers: d.Members,
+				CryptoReal:  cfg.CryptoReal,
+			}
+			if cfg.Protocol == controlplane.ProtoCicero {
+				swCfg.Scheme = n.Scheme
+				swCfg.GroupKey = d.GroupKey
+				swCfg.Quorum = quorum
+			}
+			sw, err := dataplane.New(swCfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: switch %s: %w", swID, err)
+			}
+			sw.Bootstrap(d.Members, aggregator, quorum)
+			n.Switches[swID] = sw
+		}
+		n.Domains = append(n.Domains, d)
+	}
+	return n, nil
+}
+
+// newApp builds the routing application for one controller replica. Each
+// replica gets its own instance so stateful apps stay replica-local.
+func (n *Network) newApp() routing.App {
+	if n.Cfg.AppFactory != nil {
+		return n.Cfg.AppFactory()
+	}
+	return &routing.ShortestPath{Graph: n.Graph, PairRules: n.Cfg.PairRules}
+}
+
+// clonePeers deep-copies the peer-domain map (each controller mutates its
+// own view on membership notices).
+func clonePeers(in map[int][]pki.Identity) map[int][]pki.Identity {
+	out := make(map[int][]pki.Identity, len(in))
+	for k, v := range in {
+		out[k] = append([]pki.Identity(nil), v...)
+	}
+	return out
+}
+
+// latency derives one-way message latency from the fabric: co-located
+// nodes pay the LAN latency; remote pairs pay the fabric shortest-path
+// latency plus the LAN hop.
+func (n *Network) latency(from, to simnet.NodeID) time.Duration {
+	sa, oka := n.site[string(from)]
+	sb, okb := n.site[string(to)]
+	if !oka || !okb {
+		return -1 // default
+	}
+	if sa == sb {
+		return n.Cfg.LANLatency
+	}
+	return n.fabricDist(sa, sb) + n.Cfg.LANLatency
+}
+
+// fabricDist memoizes shortest-path latency between graph sites.
+func (n *Network) fabricDist(a, b string) time.Duration {
+	key := [2]string{a, b}
+	if a > b {
+		key = [2]string{b, a}
+	}
+	if d, ok := n.distCache[key]; ok {
+		return d
+	}
+	var d time.Duration
+	if path := n.Graph.ShortestPath(a, b); path != nil {
+		if lat, err := n.Graph.PathLatency(path); err == nil {
+			d = lat
+		}
+	}
+	n.distCache[key] = d
+	return d
+}
+
+// DomainOfSwitch returns a switch's domain index.
+func (n *Network) DomainOfSwitch(sw string) int { return n.domainOfSwitch[sw] }
+
+// SwitchCPUTotal sums simulated CPU time charged to all switches.
+func (n *Network) SwitchCPUTotal() time.Duration {
+	var total time.Duration
+	for id := range n.Switches {
+		total += n.Net.BusyTotal(simnet.NodeID(id))
+	}
+	return total
+}

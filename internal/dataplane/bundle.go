@@ -1,0 +1,61 @@
+package dataplane
+
+import (
+	"cicero/internal/openflow"
+	"cicero/internal/simnet"
+)
+
+// OpenFlow bundle and barrier support (§2.2 of the paper): bundles give
+// transactional application of multiple mods on a SINGLE switch — they
+// cannot order updates across switches, which is exactly the gap Cicero's
+// update scheduler closes. They are provided for completeness and for the
+// baselines; Cicero's own updates arrive through the threshold-signed
+// path.
+
+// bundleState accumulates mods for an open bundle.
+type bundleState struct {
+	mods []openflow.FlowMod
+}
+
+// handleBundleOpen starts collecting mods for a bundle id.
+func (s *Switch) handleBundleOpen(m openflow.BundleOpen) {
+	if s.bundles == nil {
+		s.bundles = make(map[string]*bundleState)
+	}
+	s.bundles[m.Bundle.String()] = &bundleState{}
+}
+
+// handleBundleAdd appends a mod to an open bundle; mods for unknown
+// bundles are ignored (OpenFlow returns an error; the simulation drops).
+func (s *Switch) handleBundleAdd(m openflow.BundleAdd) {
+	if b, ok := s.bundles[m.Bundle.String()]; ok {
+		b.mods = append(b.mods, m.Mod)
+	}
+}
+
+// handleBundleCommit atomically applies an open bundle: either every mod
+// is applied (all at the same instant of virtual time) or none.
+func (s *Switch) handleBundleCommit(from simnet.NodeID, m openflow.BundleCommit) {
+	b, ok := s.bundles[m.Bundle.String()]
+	if !ok {
+		return
+	}
+	delete(s.bundles, m.Bundle.String())
+	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.SwitchApply)
+	for _, mod := range b.mods {
+		s.table.Apply(mod)
+		if mod.Op == openflow.FlowAdd {
+			s.wakeWaiters(mod.Rule)
+		}
+	}
+	s.UpdatesApplied++
+	// Reply with a barrier-style confirmation to the committer.
+	s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), from, openflow.BarrierReply{ID: m.Bundle}, 64)
+}
+
+// handleBarrier answers a barrier request once all preceding messages
+// have been processed — in the discrete-event model, message handling is
+// serial per node, so the reply is immediate after queued work.
+func (s *Switch) handleBarrier(from simnet.NodeID, m openflow.BarrierRequest) {
+	s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), from, openflow.BarrierReply{ID: m.ID}, 64)
+}

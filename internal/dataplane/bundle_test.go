@@ -1,0 +1,106 @@
+package dataplane
+
+import (
+	"testing"
+
+	"cicero/internal/openflow"
+	"cicero/internal/simnet"
+)
+
+func bundleID(seq uint64) openflow.MsgID {
+	return openflow.MsgID{Origin: "ctl", Seq: seq}
+}
+
+func TestBundleCommitAppliesAtomically(t *testing.T) {
+	h := newHarness(t, ModeUnsigned, false)
+	id := bundleID(1)
+	h.sw.HandleMessage("c1", openflow.BundleOpen{Bundle: id})
+	h.sw.HandleMessage("c1", openflow.BundleAdd{Bundle: id, Mod: mod("b1")})
+	h.sw.HandleMessage("c1", openflow.BundleAdd{Bundle: id, Mod: mod("b2")})
+	// Nothing applied before commit.
+	if _, ok := h.sw.Lookup("x", "b1"); ok {
+		t.Fatal("bundle mod applied before commit")
+	}
+	h.sw.HandleMessage("c1", openflow.BundleCommit{Bundle: id})
+	if _, ok := h.sw.Lookup("x", "b1"); !ok {
+		t.Fatal("bundle mod 1 missing after commit")
+	}
+	if _, ok := h.sw.Lookup("x", "b2"); !ok {
+		t.Fatal("bundle mod 2 missing after commit")
+	}
+	// The committer gets a confirmation.
+	if _, err := h.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gotReply := false
+	for _, msg := range h.received["c1"] {
+		if _, ok := msg.(openflow.BarrierReply); ok {
+			gotReply = true
+		}
+	}
+	if !gotReply {
+		t.Fatal("no commit confirmation")
+	}
+}
+
+func TestBundleAddWithoutOpenIgnored(t *testing.T) {
+	h := newHarness(t, ModeUnsigned, false)
+	h.sw.HandleMessage("c1", openflow.BundleAdd{Bundle: bundleID(9), Mod: mod("bx")})
+	h.sw.HandleMessage("c1", openflow.BundleCommit{Bundle: bundleID(9)})
+	if _, ok := h.sw.Lookup("x", "bx"); ok {
+		t.Fatal("unopened bundle applied")
+	}
+}
+
+func TestBundleCommitWakesWaiters(t *testing.T) {
+	h := newHarness(t, ModeUnsigned, false)
+	fired := false
+	h.sw.Subscribe("x", "bw", func(simnet.Time) { fired = true })
+	id := bundleID(2)
+	h.sw.HandleMessage("c1", openflow.BundleOpen{Bundle: id})
+	h.sw.HandleMessage("c1", openflow.BundleAdd{Bundle: id, Mod: mod("bw")})
+	h.sw.HandleMessage("c1", openflow.BundleCommit{Bundle: id})
+	if !fired {
+		t.Fatal("bundle apply did not wake waiter")
+	}
+}
+
+func TestBarrierReply(t *testing.T) {
+	h := newHarness(t, ModeUnsigned, false)
+	h.sw.HandleMessage("c2", openflow.BarrierRequest{ID: bundleID(3)})
+	if _, err := h.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, msg := range h.received["c2"] {
+		if reply, ok := msg.(openflow.BarrierReply); ok && reply.ID == bundleID(3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no barrier reply")
+	}
+}
+
+// TestBundlesAreSingleSwitchOnly documents §2.2: a bundle commits on one
+// switch; there is no cross-switch transaction — two switches with open
+// bundles commit independently (Cicero's scheduler provides the
+// cross-switch ordering instead).
+func TestBundlesAreSingleSwitchOnly(t *testing.T) {
+	hA := newHarness(t, ModeUnsigned, false)
+	// Second switch gets its own harness (independent state).
+	hB := newHarness(t, ModeUnsigned, false)
+	id := bundleID(4)
+	hA.sw.HandleMessage("c1", openflow.BundleOpen{Bundle: id})
+	hA.sw.HandleMessage("c1", openflow.BundleAdd{Bundle: id, Mod: mod("cross")})
+	hB.sw.HandleMessage("c1", openflow.BundleOpen{Bundle: id})
+	hB.sw.HandleMessage("c1", openflow.BundleAdd{Bundle: id, Mod: mod("cross")})
+	// Committing on A does nothing for B.
+	hA.sw.HandleMessage("c1", openflow.BundleCommit{Bundle: id})
+	if _, ok := hA.sw.Lookup("x", "cross"); !ok {
+		t.Fatal("A did not commit")
+	}
+	if _, ok := hB.sw.Lookup("x", "cross"); ok {
+		t.Fatal("commit on A leaked to B: bundles must be single-switch")
+	}
+}

@@ -1,0 +1,448 @@
+// Package dataplane implements the Cicero switch runtime (Fig. 6 of the
+// paper), the paper's Open vSwitch extension: flow-table forwarding,
+// event generation for table misses, quorum collection and threshold-
+// signature aggregation/verification of control-plane updates, and signed
+// acknowledgements. The runtime is deliberately minimal — the paper's
+// design goal is to keep switch instrumentation small.
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"cicero/internal/openflow"
+	"cicero/internal/protocol"
+	"cicero/internal/simnet"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/pki"
+)
+
+// Mode selects how the switch authenticates updates.
+type Mode int
+
+// Modes. Start at 1 so the zero value is invalid.
+const (
+	// ModeUnsigned applies the first copy of each update (the centralized
+	// and crash-tolerant baselines: no quorum authentication, §6.1).
+	ModeUnsigned Mode = iota + 1
+	// ModeThreshold collects a quorum of signature shares, aggregates,
+	// and verifies against the control plane's threshold public key.
+	ModeThreshold
+	// ModeAggregated expects pre-aggregated signatures from a designated
+	// aggregator controller and only verifies them (§4.2).
+	ModeAggregated
+)
+
+// Config assembles a switch.
+type Config struct {
+	ID   string
+	Net  *simnet.Network
+	Cost protocol.CostModel
+	Mode Mode
+
+	// Keys signs events and acks; Directory validates peers.
+	Keys      *pki.KeyPair
+	Directory *pki.Directory
+
+	// Scheme/GroupKey/Quorum configure threshold verification
+	// (ModeThreshold and ModeAggregated). The group key's Feldman
+	// commitments are public information published by the DKG; holding
+	// them lets the switch identify bad shares when an optimistic
+	// aggregate fails.
+	Scheme   *bls.Scheme
+	GroupKey *bls.GroupKey
+	Quorum   int
+
+	// Controllers is the domain's control plane membership (identities are
+	// also simnet node ids).
+	Controllers []pki.Identity
+
+	// CryptoReal executes real BLS/Ed25519 operations. When false only
+	// the cost model's time is charged; quorum counting and dedup still
+	// run, so protocol structure is identical.
+	CryptoReal bool
+}
+
+// matchKey dedups pending events per flow endpoints.
+type matchKey struct{ src, dst string }
+
+// pendingUpdate buffers an update until its share quorum completes.
+type pendingUpdate struct {
+	mods   []openflow.FlowMod
+	phase  uint64
+	shares map[uint32][]byte
+}
+
+// waiter observes rule installation (the simulation driver uses it to
+// start flows whose rules were missing).
+type waiter struct {
+	src, dst string
+	fn       func(at simnet.Time)
+}
+
+// Switch is one data-plane switch.
+type Switch struct {
+	cfg   Config
+	table *openflow.FlowTable
+
+	eventSeq uint64
+	// pendingEvents dedups outstanding table-miss events per match.
+	pendingEvents map[matchKey]openflow.MsgID
+	pending       map[string]*pendingUpdate // keyed by updateID|phase
+	applied       map[string]bool
+	aggregator    pki.Identity
+	configPhase   uint64
+	waiters       []waiter
+	bundles       map[string]*bundleState
+
+	// Counters for experiments.
+	EventsGenerated uint64
+	UpdatesApplied  uint64
+	UpdatesRejected uint64
+}
+
+var _ simnet.Handler = (*Switch)(nil)
+
+// New creates a switch and registers it on the network.
+func New(cfg Config) (*Switch, error) {
+	if cfg.ID == "" || cfg.Net == nil || cfg.Keys == nil || cfg.Directory == nil {
+		return nil, fmt.Errorf("dataplane: incomplete config for switch %q", cfg.ID)
+	}
+	if cfg.Mode == ModeThreshold || cfg.Mode == ModeAggregated {
+		if cfg.Scheme == nil || cfg.GroupKey == nil || cfg.Quorum < 1 {
+			return nil, fmt.Errorf("dataplane: switch %q: threshold mode requires scheme, group key and quorum", cfg.ID)
+		}
+	}
+	s := &Switch{
+		cfg:           cfg,
+		table:         openflow.NewFlowTable(),
+		pendingEvents: make(map[matchKey]openflow.MsgID),
+		pending:       make(map[string]*pendingUpdate),
+		applied:       make(map[string]bool),
+	}
+	cfg.Net.Register(simnet.NodeID(cfg.ID), s)
+	return s, nil
+}
+
+// ID returns the switch's node id.
+func (s *Switch) ID() string { return s.cfg.ID }
+
+// Table exposes the flow table (read-mostly; the driver inspects it).
+func (s *Switch) Table() *openflow.FlowTable { return s.table }
+
+// SetControllers replaces the control-plane membership view (called on
+// membership changes).
+func (s *Switch) SetControllers(members []pki.Identity) {
+	s.cfg.Controllers = append([]pki.Identity(nil), members...)
+}
+
+// SetGroupKey updates the threshold verification parameters (quorum
+// changes on membership change; the public key itself never does).
+func (s *Switch) SetGroupKey(gk *bls.GroupKey, quorum int) {
+	s.cfg.GroupKey = gk
+	s.cfg.Quorum = quorum
+}
+
+// Lookup consults the flow table.
+func (s *Switch) Lookup(src, dst string) (openflow.Rule, bool) {
+	return s.table.Lookup(src, dst)
+}
+
+// Subscribe registers fn to run when a FlowAdd rule covering (src, dst)
+// is applied. If such a rule already exists, fn runs immediately.
+func (s *Switch) Subscribe(src, dst string, fn func(at simnet.Time)) {
+	if _, ok := s.table.Lookup(src, dst); ok {
+		fn(s.cfg.Net.Sim().Now())
+		return
+	}
+	s.waiters = append(s.waiters, waiter{src: src, dst: dst, fn: fn})
+}
+
+// PacketArrival models a data-plane packet reaching this switch (Fig. 6a):
+// on a table hit it returns the matched rule; on a miss it generates and
+// emits a signed table-miss event (deduplicated per flow endpoints) and
+// returns ok=false.
+func (s *Switch) PacketArrival(src, dst string) (openflow.Rule, bool) {
+	if rule, ok := s.table.Lookup(src, dst); ok {
+		if rule.Action.Type == openflow.ActionOutput {
+			return rule, true
+		}
+		return rule, true // drop rules are also "handled"
+	}
+	key := matchKey{src, dst}
+	if _, outstanding := s.pendingEvents[key]; outstanding {
+		return openflow.Rule{}, false
+	}
+	s.eventSeq++
+	ev := protocol.Event{
+		ID:   openflow.MsgID{Origin: s.cfg.ID, Seq: s.eventSeq},
+		Kind: protocol.EventFlowRequest,
+		Src:  src,
+		Dst:  dst,
+	}
+	s.pendingEvents[key] = ev.ID
+	s.EmitEvent(ev)
+	return openflow.Rule{}, false
+}
+
+// EmitEvent signs and sends an event to the control plane: to the
+// aggregator when one is assigned, otherwise to every controller.
+func (s *Switch) EmitEvent(ev protocol.Event) {
+	s.EventsGenerated++
+	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.Ed25519Sign)
+	payload := ev.Encode()
+	var env pki.Envelope
+	if s.cfg.CryptoReal {
+		env = s.cfg.Keys.Seal(payload)
+	} else {
+		env = pki.Envelope{From: s.cfg.Keys.ID, Payload: payload}
+	}
+	msg := protocol.MsgEvent{Env: env}
+	size := len(payload) + 96
+	if s.aggregator != "" {
+		s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), simnet.NodeID(s.aggregator), msg, size)
+		return
+	}
+	for _, ctl := range s.cfg.Controllers {
+		s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), simnet.NodeID(ctl), msg, size)
+	}
+}
+
+// HandleMessage implements simnet.Handler (Fig. 6b).
+func (s *Switch) HandleMessage(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case protocol.MsgUpdate:
+		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
+		s.handleUpdate(m)
+	case protocol.MsgAggUpdate:
+		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
+		s.handleAggUpdate(m)
+	case protocol.MsgConfig:
+		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
+		s.handleConfig(m)
+	case openflow.BundleOpen:
+		s.handleBundleOpen(m)
+	case openflow.BundleAdd:
+		s.handleBundleAdd(m)
+	case openflow.BundleCommit:
+		s.handleBundleCommit(from, m)
+	case openflow.BarrierRequest:
+		s.handleBarrier(from, m)
+	case openflow.PacketOut:
+		// A bare PACKET_OUT reaching the data plane is exactly the attack
+		// of §2.2; Cicero switches only honor threshold-authenticated
+		// messages, so it is dropped (and counted).
+		s.UpdatesRejected++
+	}
+}
+
+// updateKey builds the pending-map key binding update id and phase.
+func updateKey(id openflow.MsgID, phase uint64) string {
+	return fmt.Sprintf("%s|%d", id, phase)
+}
+
+// handleUpdate processes a per-controller signed update.
+func (s *Switch) handleUpdate(m protocol.MsgUpdate) {
+	key := updateKey(m.UpdateID, m.Phase)
+	if s.applied[key] {
+		return
+	}
+	switch s.cfg.Mode {
+	case ModeUnsigned:
+		// Baselines: first copy wins.
+		s.apply(m.UpdateID, m.Phase, m.Mods, true)
+	case ModeThreshold:
+		pu, ok := s.pending[key]
+		if !ok {
+			pu = &pendingUpdate{mods: m.Mods, phase: m.Phase, shares: make(map[uint32][]byte)}
+			s.pending[key] = pu
+		}
+		if m.ShareIndex == 0 {
+			return // malformed share
+		}
+		pu.shares[m.ShareIndex] = m.Share
+		if len(pu.shares) < s.cfg.Quorum {
+			return
+		}
+		// Quorum reached: aggregate and verify (Fig. 6b). A failed
+		// verification (Byzantine shares in the mix) keeps the update
+		// pending: later honest shares can still complete it.
+		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID),
+			time.Duration(s.cfg.Quorum)*s.cfg.Cost.BLSAggregatePerShare+s.cfg.Cost.BLSVerifyAggregate)
+		if s.cfg.CryptoReal && !s.verifyShares(m.UpdateID, pu) {
+			s.UpdatesRejected++
+			return
+		}
+		delete(s.pending, key)
+		s.apply(m.UpdateID, m.Phase, pu.mods, true)
+	case ModeAggregated:
+		// Per-share updates are not accepted in aggregated mode; the
+		// aggregator must combine them first.
+		s.UpdatesRejected++
+	}
+}
+
+// verifyShares combines the collected shares and verifies the aggregate
+// against the control plane's threshold public key.
+func (s *Switch) verifyShares(id openflow.MsgID, pu *pendingUpdate) bool {
+	canonical := openflow.CanonicalUpdateBytes(id, pu.phase, pu.mods)
+	shares := make([]bls.SignatureShare, 0, len(pu.shares))
+	for idx, raw := range pu.shares {
+		pt, err := s.cfg.Scheme.Params.ParsePoint(raw)
+		if err != nil {
+			continue
+		}
+		shares = append(shares, bls.SignatureShare{Index: idx, Point: pt})
+	}
+	_, err := s.cfg.Scheme.CombineVerified(s.cfg.GroupKey, canonical, shares)
+	return err == nil
+}
+
+// handleAggUpdate verifies a pre-aggregated signature and applies.
+func (s *Switch) handleAggUpdate(m protocol.MsgAggUpdate) {
+	key := updateKey(m.UpdateID, m.Phase)
+	if s.applied[key] {
+		return
+	}
+	if s.cfg.Mode == ModeUnsigned {
+		s.apply(m.UpdateID, m.Phase, m.Mods, true)
+		return
+	}
+	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.BLSVerifyAggregate)
+	valid := true
+	if s.cfg.CryptoReal {
+		canonical := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, m.Mods)
+		pt, err := s.cfg.Scheme.Params.ParsePoint(m.Signature)
+		valid = err == nil && s.cfg.Scheme.Verify(s.cfg.GroupKey.PK, canonical, bls.Signature{Point: pt})
+	}
+	s.apply(m.UpdateID, m.Phase, m.Mods, valid)
+}
+
+// handleConfig installs a control-plane configuration (membership,
+// quorum, aggregator) after verifying its threshold signature against the
+// group public key, which membership changes never alter.
+func (s *Switch) handleConfig(m protocol.MsgConfig) {
+	if s.configPhase != 0 && m.Phase <= s.configPhase {
+		return // stale
+	}
+	if s.cfg.Mode != ModeUnsigned {
+		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.BLSVerifyAggregate)
+		if s.cfg.CryptoReal && s.cfg.Scheme != nil {
+			canonical := protocol.ConfigBytes(m.Phase, m.Quorum, m.Members, m.Aggregator)
+			pt, err := s.cfg.Scheme.Params.ParsePoint(m.Signature)
+			if err != nil || !s.cfg.Scheme.Verify(s.cfg.GroupKey.PK, canonical, bls.Signature{Point: pt}) {
+				s.UpdatesRejected++
+				return
+			}
+		}
+	}
+	s.configPhase = m.Phase
+	s.cfg.Controllers = append([]pki.Identity(nil), m.Members...)
+	if m.Quorum > 0 {
+		s.cfg.Quorum = m.Quorum
+	}
+	if gk, ok := m.GroupKey.(*bls.GroupKey); ok && gk != nil && s.cfg.GroupKey != nil {
+		// Only accept key material that preserves the provisioned public
+		// key (the membership protocol's core invariant).
+		if gk.PK.Point.Equal(s.cfg.GroupKey.PK.Point) {
+			s.cfg.GroupKey = gk
+		}
+	}
+	s.aggregator = m.Aggregator
+	if s.cfg.Mode != ModeUnsigned {
+		if m.Aggregator != "" {
+			s.cfg.Mode = ModeAggregated
+		} else {
+			s.cfg.Mode = ModeThreshold
+		}
+	}
+	// Re-emit outstanding table-miss events under fresh ids: the control
+	// plane that should serve them may have changed (e.g., a crashed
+	// aggregator was replaced), and controllers deduplicate by event id.
+	pending := s.pendingEvents
+	s.pendingEvents = make(map[matchKey]openflow.MsgID, len(pending))
+	for key := range pending {
+		s.eventSeq++
+		ev := protocol.Event{
+			ID:   openflow.MsgID{Origin: s.cfg.ID, Seq: s.eventSeq},
+			Kind: protocol.EventFlowRequest,
+			Src:  key.src,
+			Dst:  key.dst,
+		}
+		s.pendingEvents[key] = ev.ID
+		s.EmitEvent(ev)
+	}
+}
+
+// Aggregator returns the currently assigned aggregator ("" when events are
+// multicast to the whole control plane).
+func (s *Switch) Aggregator() pki.Identity { return s.aggregator }
+
+// Bootstrap installs the initial control-plane configuration out-of-band,
+// modelling initial provisioning (which also installs the threshold public
+// key). Later configuration changes arrive as threshold-signed MsgConfig.
+func (s *Switch) Bootstrap(members []pki.Identity, aggregator pki.Identity, quorum int) {
+	s.cfg.Controllers = append([]pki.Identity(nil), members...)
+	s.aggregator = aggregator
+	if quorum > 0 {
+		s.cfg.Quorum = quorum
+	}
+}
+
+// apply installs (or rejects) an update, acknowledges it, and wakes any
+// flow waiters whose rules just arrived.
+func (s *Switch) apply(id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool) {
+	key := updateKey(id, phase)
+	s.applied[key] = true
+	if !valid {
+		s.UpdatesRejected++
+		s.sendAck(id, false)
+		return
+	}
+	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.SwitchApply)
+	s.UpdatesApplied++
+	for _, mod := range mods {
+		s.table.Apply(mod)
+		if mod.Op == openflow.FlowAdd {
+			s.wakeWaiters(mod.Rule)
+		}
+	}
+	s.sendAck(id, true)
+}
+
+// wakeWaiters fires subscriptions covered by a newly installed rule and
+// clears the corresponding pending-event dedup entries.
+func (s *Switch) wakeWaiters(rule openflow.Rule) {
+	now := s.cfg.Net.Sim().Now()
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if rule.Match.Covers(w.src, w.dst) && rule.Action.Type == openflow.ActionOutput {
+			w.fn(now)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	s.waiters = kept
+	for key := range s.pendingEvents {
+		if rule.Match.Covers(key.src, key.dst) {
+			delete(s.pendingEvents, key)
+		}
+	}
+}
+
+// sendAck signs and sends an acknowledgement to every controller.
+func (s *Switch) sendAck(id openflow.MsgID, applied bool) {
+	ack := protocol.Ack{UpdateID: id, Switch: s.cfg.ID, Applied: applied}
+	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.Ed25519Sign)
+	payload := ack.Encode()
+	var env pki.Envelope
+	if s.cfg.CryptoReal {
+		env = s.cfg.Keys.Seal(payload)
+	} else {
+		env = pki.Envelope{From: s.cfg.Keys.ID, Payload: payload}
+	}
+	msg := protocol.MsgAck{Env: env}
+	for _, ctl := range s.cfg.Controllers {
+		s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), simnet.NodeID(ctl), msg, len(payload)+96)
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/core"
+	"cicero/internal/metrics"
+	"cicero/internal/simnet"
+	"cicero/internal/topology"
+	"cicero/internal/workload"
+)
+
+// podConfig builds the §6.2 single-pod topology.
+func podConfig(opt Options) topology.FabricConfig {
+	cfg := topology.DefaultFabricConfig()
+	cfg.HostsPerRack = 2
+	if opt.Quick {
+		cfg.RacksPerPod = 8
+	}
+	return cfg
+}
+
+// singlePodCDF runs the four frameworks on the single-pod topology with
+// the given traffic mix and run options.
+func singlePodCDF(title string, mix workload.Mix, runOpts core.RunOptions, pairRules bool, opt Options) (*Result, error) {
+	opt = opt.Defaulted()
+	g, err := topology.BuildSinglePod(podConfig(opt))
+	if err != nil {
+		return nil, err
+	}
+	flows, err := workload.Generate(g, workload.Config{
+		Mix:              mix,
+		Flows:            opt.Flows,
+		MeanInterarrival: meanInterarrival(opt),
+		Seed:             opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string]*metrics.Samples)
+	setups := make(map[string]*metrics.Samples)
+	var order []string
+	for _, fw := range paperFrameworks(4) {
+		completion, setup, _, err := runWorkloadCompletion(core.Config{
+			Graph:                g,
+			Protocol:             fw.proto,
+			Aggregation:          fw.agg,
+			ControllersPerDomain: fw.ctls,
+			PairRules:            pairRules,
+			Cost:                 calibrated,
+			CryptoReal:           opt.CryptoReal,
+			Seed:                 opt.Seed,
+		}, flows, runOpts)
+		if err != nil {
+			return nil, err
+		}
+		series[fw.name] = completion
+		setups[fw.name] = setup
+		order = append(order, fw.name)
+	}
+	res := &Result{Name: title}
+	res.Tables = append(res.Tables, cdfTable(title+": flow completion time", series, order))
+
+	setupTbl := metrics.NewTable(title+": fresh-route setup delay", "framework", "mean-setup(ms)", "p99-setup(ms)")
+	for _, name := range order {
+		setupTbl.AddRow(name, setups[name].Mean(), setups[name].Percentile(0.99))
+	}
+	res.Tables = append(res.Tables, setupTbl)
+	return res, nil
+}
+
+// Fig11a reproduces the Hadoop flow-completion CDF on a single pod with a
+// 4-controller control plane (quorum 3 in the paper's terms: t=2 signers
+// out of 4 with f=1).
+func Fig11a(opt Options) (*Result, error) {
+	res, err := singlePodCDF("fig11a (Hadoop, single pod)", workload.HadoopMix(), core.RunOptions{}, false, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes,
+		note("paper: setup ≈2.9ms centralized, ≈4.3ms crash, ≈8.3ms cicero, ≈11.6ms cicero-agg; amortized CDFs nearly overlap"))
+	return res, nil
+}
+
+// Fig11b is Fig11a with the web-server mix.
+func Fig11b(opt Options) (*Result, error) {
+	res, err := singlePodCDF("fig11b (web server, single pod)", workload.WebServerMix(), core.RunOptions{}, false, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes,
+		note("paper: same ordering as fig11a; web mix has less rule reuse so overheads show slightly more"))
+	return res, nil
+}
+
+// Fig11c reproduces the unamortized setup/teardown run: per-flow-pair
+// rules, removed at flow completion, so every flow pays full setup.
+func Fig11c(opt Options) (*Result, error) {
+	res, err := singlePodCDF("fig11c (Hadoop, unamortized setup/teardown)",
+		workload.HadoopMix(), core.RunOptions{Teardown: true}, true, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes,
+		note("paper: Hadoop flows ≈33.6ms mean; cicero ≈16%% overhead with switch aggregation, ≈29%% with controller aggregation"))
+	return res, nil
+}
+
+// Fig11d reproduces switch CPU utilization during the Hadoop workload:
+// the busiest switch's CPU time per one-second window, per framework.
+func Fig11d(opt Options) (*Result, error) {
+	opt = opt.Defaulted()
+	g, err := topology.BuildSinglePod(podConfig(opt))
+	if err != nil {
+		return nil, err
+	}
+	// The CPU experiment needs sustained per-flow control work, so it
+	// runs the setup/teardown mode at a fixed arrival rate chosen just
+	// under the aggregator's saturation point.
+	flows, err := workload.Generate(g, workload.Config{
+		Mix:              workload.HadoopMix(),
+		Flows:            opt.Flows,
+		MeanInterarrival: 4 * time.Millisecond,
+		Seed:             opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	window := time.Second
+	windows := int(flows[len(flows)-1].Start/window) + 2
+
+	type cpuSeries struct {
+		name string
+		util []float64
+	}
+	var all []cpuSeries
+	for _, fw := range paperFrameworks(4) {
+		n, err := core.Build(core.Config{
+			Graph:                g,
+			Protocol:             fw.proto,
+			Aggregation:          fw.agg,
+			ControllersPerDomain: fw.ctls,
+			PairRules:            true,
+			Cost:                 calibrated,
+			CryptoReal:           opt.CryptoReal,
+			Seed:                 opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Sample cumulative busy time per switch at window boundaries.
+		samples := make([]map[string]time.Duration, 0, windows)
+		for w := 0; w < windows; w++ {
+			w := w
+			n.Sim.At(time.Duration(w+1)*window, func() {
+				snap := make(map[string]time.Duration, len(n.Switches))
+				for id := range n.Switches {
+					snap[id] = n.Net.BusyTotal(simnet.NodeID(id))
+				}
+				samples = append(samples, snap)
+			})
+		}
+		if _, err := n.RunFlows(flows, core.RunOptions{Teardown: true, ChargeForwarding: true}); err != nil {
+			return nil, err
+		}
+		// Busiest switch overall defines the plotted line (the paper
+		// plots one representative OVS instance).
+		busiest := ""
+		var max time.Duration
+		last := samples[len(samples)-1]
+		for id, total := range last {
+			if total > max {
+				max = total
+				busiest = id
+			}
+		}
+		util := make([]float64, len(samples))
+		var prev time.Duration
+		for i, snap := range samples {
+			delta := snap[busiest] - prev
+			prev = snap[busiest]
+			util[i] = 100 * float64(delta) / float64(window)
+		}
+		all = append(all, cpuSeries{name: fw.name, util: util})
+	}
+
+	headers := []string{"t(s)"}
+	for _, s := range all {
+		headers = append(headers, s.name+"(%)")
+	}
+	tbl := metrics.NewTable("fig11d: busiest-switch CPU utilization (Hadoop, setup/teardown)", headers...)
+	for w := 0; w < windows; w++ {
+		row := []any{w + 1}
+		for _, s := range all {
+			v := 0.0
+			if w < len(s.util) {
+				v = s.util[w]
+			}
+			row = append(row, v)
+		}
+		tbl.AddRow(row...)
+	}
+	meanRow := []any{"mean"}
+	for _, s := range all {
+		sum := 0.0
+		nz := 0
+		for _, v := range s.util {
+			if v > 0 {
+				sum += v
+				nz++
+			}
+		}
+		if nz > 0 {
+			meanRow = append(meanRow, sum/float64(nz))
+		} else {
+			meanRow = append(meanRow, 0.0)
+		}
+	}
+	tbl.AddRow(meanRow...)
+	res := &Result{Name: "fig11d", Tables: []*metrics.Table{tbl}}
+	res.Notes = append(res.Notes,
+		note("paper: cicero's switch-side verification roughly doubles switch CPU vs controller aggregation; baselines stay low"))
+	return res, nil
+}
+
+// quorumLabel names the paper's quorum for n controllers.
+func quorumLabel(n int) string {
+	return note("n=%d (tolerates f=%d, quorum t=%d)", n, (n-1)/3, controlplane.CiceroQuorum(n))
+}

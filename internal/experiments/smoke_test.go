@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick smoke-tests every registered experiment at
+// CI scale: each must run to completion and render at least one table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	opt := Options{Quick: true, Flows: 60, Seed: 13}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := Run(name, opt, &sb); err != nil {
+				t.Fatalf("Run(%s): %v", name, err)
+			}
+			if !strings.Contains(sb.String(), "==") {
+				t.Fatalf("Run(%s) rendered no table:\n%s", name, sb.String())
+			}
+		})
+	}
+}
+
+// TestExperimentsDeterministic asserts the reproducibility claim: the same
+// experiment with the same seed renders byte-identical output.
+func TestExperimentsDeterministic(t *testing.T) {
+	opt := Options{Quick: true, Flows: 80, Seed: 17}
+	for _, name := range []string{"fig11a", "fig12b", "table1"} {
+		var a, b strings.Builder
+		if err := Run(name, opt, &a); err != nil {
+			t.Fatalf("Run(%s) #1: %v", name, err)
+		}
+		if err := Run(name, opt, &b); err != nil {
+			t.Fatalf("Run(%s) #2: %v", name, err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s is not deterministic across identical runs", name)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSamplesStatistics(t *testing.T) {
+	var s Samples
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := s.Percentile(0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+}
+
+func TestSamplesEmpty(t *testing.T) {
+	var s Samples
+	if s.Mean() != 0 || s.Percentile(0.5) != 0 || s.CDF(10) != nil {
+		t.Error("empty samples should yield zeros and nil CDF")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Samples
+	s.AddDuration(2500 * time.Microsecond)
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("AddDuration stored %v ms, want 2.5", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Samples
+		for _, v := range raw {
+			s.Add(v)
+		}
+		cdf := s.CDF(20)
+		if len(raw) == 0 {
+			return cdf == nil
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X < cdf[i-1].X || cdf[i].P <= cdf[i-1].P {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].P == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	var s Samples
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(-0.5); got != 1 {
+		t.Errorf("p<0 = %v, want min", got)
+	}
+	if got := s.Percentile(1.5); got != 100 {
+		t.Errorf("p>1 = %v, want max", got)
+	}
+	if got := s.Percentile(0.99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("fig-x", "framework", "mean(ms)")
+	tbl.AddRow("centralized", 2.9)
+	tbl.AddRow("cicero", 8.312)
+	tbl.AddRow("latency", 1500*time.Microsecond)
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"== fig-x ==", "framework", "centralized", "8.312", "1.500ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(time.Second, 42)
+	ts.Add(2*time.Second, 43)
+	if len(ts.Points) != 2 || ts.Points[1].V != 43 {
+		t.Fatalf("points = %+v", ts.Points)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Samples
+	s.Add(1)
+	s.Add(2)
+	got := s.Summary()
+	if !strings.Contains(got, "n=2") || !strings.Contains(got, "mean=1.50") {
+		t.Errorf("Summary = %q", got)
+	}
+}

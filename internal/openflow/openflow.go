@@ -1,0 +1,192 @@
+// Package openflow models the southbound API between the control plane
+// and data-plane switches: flow-table matches and actions, the standard
+// message vocabulary (FlowMod, PacketIn, PacketOut, Barrier, Bundle, Role),
+// and the Cicero extension of signed messages with unique identifiers
+// (§5.1 of the paper: "We extend the OpenFlow message protocol to add new
+// message types for signed messages, and add a unique identifier to each
+// message to prevent duplicate processing of events and updates").
+//
+// As in the paper's motivation (§2.2), bundles provide transactional
+// application of multiple mods on a *single* switch only — cross-switch
+// consistency is exactly what the Cicero protocol adds on top.
+package openflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wildcard matches any value in a match field.
+const Wildcard = "*"
+
+// Match selects packets by flow endpoints. Cicero's simulation routes at
+// host granularity, so a match is a (src, dst) pair where either side may
+// be the Wildcard.
+type Match struct {
+	Src string
+	Dst string
+}
+
+// Covers reports whether the match selects a packet from src to dst.
+func (m Match) Covers(src, dst string) bool {
+	return (m.Src == Wildcard || m.Src == src) && (m.Dst == Wildcard || m.Dst == dst)
+}
+
+// String renders the match for logs.
+func (m Match) String() string { return m.Src + "->" + m.Dst }
+
+// ActionType distinguishes forwarding from dropping.
+type ActionType int
+
+// Action types. Start at 1 so the zero value is invalid.
+const (
+	ActionOutput ActionType = iota + 1
+	ActionDrop
+)
+
+// Action is what a switch does with a matching packet.
+type Action struct {
+	Type ActionType
+	// NextHop is the neighbor node the packet is forwarded to when Type
+	// is ActionOutput. The simulation uses next-hop node ids in place of
+	// physical port numbers.
+	NextHop string
+}
+
+// String renders the action for logs.
+func (a Action) String() string {
+	if a.Type == ActionDrop {
+		return "drop"
+	}
+	return "output:" + a.NextHop
+}
+
+// Rule is one flow-table entry.
+type Rule struct {
+	Priority int
+	Match    Match
+	Action   Action
+	// Cookie tags the rule with the update that installed it, easing
+	// deletion and audit.
+	Cookie uint64
+}
+
+// String renders the rule for logs.
+func (r Rule) String() string {
+	return fmt.Sprintf("[prio=%d %s %s cookie=%d]", r.Priority, r.Match, r.Action, r.Cookie)
+}
+
+// FlowModOp is the operation of a FlowMod.
+type FlowModOp int
+
+// FlowMod operations. Start at 1 so the zero value is invalid.
+const (
+	FlowAdd FlowModOp = iota + 1
+	FlowDelete
+)
+
+// String names the operation.
+func (op FlowModOp) String() string {
+	switch op {
+	case FlowAdd:
+		return "add"
+	case FlowDelete:
+		return "del"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// FlowMod installs or removes a rule on one switch.
+type FlowMod struct {
+	Op     FlowModOp
+	Switch string
+	Rule   Rule
+}
+
+// String renders the mod canonically; it doubles as the byte payload that
+// gets threshold-signed, so it must be deterministic across controllers.
+func (fm FlowMod) String() string {
+	return fmt.Sprintf("%s@%s%s", fm.Op, fm.Switch, fm.Rule)
+}
+
+// MsgID uniquely identifies an event or update to prevent duplicate
+// processing. Origin disambiguates counters kept by different sources.
+type MsgID struct {
+	Origin string
+	Seq    uint64
+}
+
+// String renders the id for logs and signatures.
+func (id MsgID) String() string { return fmt.Sprintf("%s#%d", id.Origin, id.Seq) }
+
+// PacketIn reports a packet that matched no flow-table rule (a table
+// miss), the event that triggers route computation.
+type PacketIn struct {
+	ID     MsgID
+	Switch string
+	Src    string
+	Dst    string
+	// SizeBytes is the triggering packet's size.
+	SizeBytes int
+}
+
+// PacketOut injects a packet into the data plane — the primitive a
+// malicious controller can abuse (§2.2), which Cicero's quorum
+// authentication neutralizes.
+type PacketOut struct {
+	ID      MsgID
+	Switch  string
+	Src     string
+	Dst     string
+	Payload string
+}
+
+// BarrierRequest asks a switch to finish all preceding messages before
+// answering.
+type BarrierRequest struct{ ID MsgID }
+
+// BarrierReply acknowledges a barrier.
+type BarrierReply struct{ ID MsgID }
+
+// BundleOpen starts collecting mods for atomic single-switch application.
+type BundleOpen struct{ Bundle MsgID }
+
+// BundleAdd appends a mod to an open bundle.
+type BundleAdd struct {
+	Bundle MsgID
+	Mod    FlowMod
+}
+
+// BundleCommit atomically applies an open bundle.
+type BundleCommit struct{ Bundle MsgID }
+
+// Role is a controller's role toward a switch, used for aggregator
+// assignment via the OpenFlow master/slave mechanism.
+type Role int
+
+// Roles. Start at 1 so the zero value is invalid.
+const (
+	RoleMaster Role = iota + 1
+	RoleSlave
+)
+
+// RoleRequest assigns the sending controller's role on the switch.
+type RoleRequest struct {
+	ID   MsgID
+	Role Role
+}
+
+// CanonicalUpdateBytes serializes an update (its id, phase and mods) into
+// the deterministic byte string that controllers threshold-sign and
+// switches verify. All correct controllers must produce identical bytes
+// for the same logical update.
+func CanonicalUpdateBytes(id MsgID, phase uint64, mods []FlowMod) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "update|%s|phase=%d", id, phase)
+	for _, m := range mods {
+		b.WriteByte('|')
+		b.WriteString(m.String())
+	}
+	return []byte(b.String())
+}

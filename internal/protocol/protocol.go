@@ -1,0 +1,288 @@
+// Package protocol defines the wire vocabulary shared by Cicero's data
+// plane and control plane — events, signed updates, acknowledgements,
+// aggregator assignment, membership/resharing messages, heartbeats — plus
+// the calibrated cost model that maps cryptographic and processing work to
+// simulated time.
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cicero/internal/openflow"
+	"cicero/internal/tcrypto/dkg"
+	"cicero/internal/tcrypto/pki"
+)
+
+// EventKind distinguishes the causes of network updates.
+type EventKind int
+
+// Event kinds. Start at 1 so the zero value is invalid.
+const (
+	// EventFlowRequest reports an unroutable packet (OpenFlow table miss).
+	EventFlowRequest EventKind = iota + 1
+	// EventFlowTeardown asks for a flow's rules to be removed (the
+	// unamortized setup/teardown mode of §6.2).
+	EventFlowTeardown
+	// EventLinkDown reports a failed link (Fig. 2 scenario).
+	EventLinkDown
+	// EventPolicyChange carries an administrator policy update (Fig. 1).
+	EventPolicyChange
+	// EventMembershipInfo informs a domain about another domain's
+	// control-plane membership change (§4.3 final step).
+	EventMembershipInfo
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventFlowRequest:
+		return "flow-request"
+	case EventFlowTeardown:
+		return "flow-teardown"
+	case EventLinkDown:
+		return "link-down"
+	case EventPolicyChange:
+		return "policy-change"
+	case EventMembershipInfo:
+		return "membership-info"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is a network event entering the control plane.
+type Event struct {
+	ID   openflow.MsgID `json:"id"`
+	Kind EventKind      `json:"kind"`
+	// Src and Dst are flow endpoints for flow events; Src/Dst name the
+	// link ends for EventLinkDown.
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	// Cookie tags flow-scoped rules for teardown.
+	Cookie uint64 `json:"cookie,omitempty"`
+	// Forwarded marks an event relayed from another domain; it must be
+	// processed locally and never forwarded again (§4.1).
+	Forwarded bool `json:"forwarded,omitempty"`
+	// Info carries opaque payload for policy/membership events.
+	Info string `json:"info,omitempty"`
+}
+
+// Encode serializes the event for signing and broadcast.
+func (e Event) Encode() []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Event contains only marshalable fields; this is unreachable.
+		panic(fmt.Sprintf("protocol: encode event: %v", err))
+	}
+	return b
+}
+
+// DecodeEvent parses an encoded event.
+func DecodeEvent(data []byte) (Event, error) {
+	var e Event
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Event{}, fmt.Errorf("protocol: decode event: %w", err)
+	}
+	return e, nil
+}
+
+// MsgEvent carries a pki-signed event from its source to a controller.
+type MsgEvent struct {
+	Env pki.Envelope
+}
+
+// MsgUpdate is one controller's (threshold-share-)signed network update
+// sent to a switch or to the aggregator.
+type MsgUpdate struct {
+	UpdateID openflow.MsgID
+	Mods     []openflow.FlowMod
+	Phase    uint64
+	// From identifies the signing controller.
+	From pki.Identity
+	// ShareIndex is the controller's threshold-share index; Share is its
+	// BLS signature share over CanonicalUpdateBytes. Empty for the
+	// centralized and crash-tolerant baselines.
+	ShareIndex uint32
+	Share      []byte
+}
+
+// MsgAggUpdate is an aggregator-combined update carrying the full
+// threshold signature, verified by the switch in a single operation.
+type MsgAggUpdate struct {
+	UpdateID  openflow.MsgID
+	Mods      []openflow.FlowMod
+	Phase     uint64
+	Signature []byte
+}
+
+// Ack is a switch's acknowledgement that an update was applied.
+type Ack struct {
+	UpdateID openflow.MsgID `json:"update_id"`
+	Switch   string         `json:"switch"`
+	// Applied is false if the update was rejected (invalid signature).
+	Applied bool `json:"applied"`
+}
+
+// Encode serializes the ack for signing.
+func (a Ack) Encode() []byte {
+	b, err := json.Marshal(a)
+	if err != nil {
+		panic(fmt.Sprintf("protocol: encode ack: %v", err))
+	}
+	return b
+}
+
+// DecodeAck parses an encoded ack.
+func DecodeAck(data []byte) (Ack, error) {
+	var a Ack
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Ack{}, fmt.Errorf("protocol: decode ack: %w", err)
+	}
+	return a, nil
+}
+
+// MsgAck carries a pki-signed ack from a switch to the control plane.
+type MsgAck struct {
+	Env pki.Envelope
+}
+
+// MsgConfig is a threshold-signed control-plane configuration pushed to
+// switches after bootstrap and after every membership change: the current
+// phase, the share quorum, the membership (for event multicast and acks),
+// and the aggregator assignment (the OpenFlow master/slave role mechanism
+// of §5.1; empty in switch-aggregation mode). The signature verifies
+// against the never-changing threshold public key, so switches need no
+// other key material.
+type MsgConfig struct {
+	Phase      uint64
+	Quorum     int
+	Members    []pki.Identity
+	Aggregator pki.Identity
+	// GroupKey carries the post-reshare public key material
+	// (*bls.GroupKey: same public key, fresh Feldman commitments) so
+	// switches can keep verifying signature shares. It is public
+	// information whose integrity is protected by Signature, which
+	// verifies against the unchanged group public key.
+	GroupKey  any
+	Signature []byte
+}
+
+// ConfigBytes is the canonical byte string threshold-signed for a
+// control-plane configuration.
+func ConfigBytes(phase uint64, quorum int, members []pki.Identity, aggregator pki.Identity) []byte {
+	s := fmt.Sprintf("config|phase=%d|t=%d|agg=%s", phase, quorum, aggregator)
+	for _, m := range members {
+		s += "|" + string(m)
+	}
+	return []byte(s)
+}
+
+// MsgConfigShare is one controller's signature share over ConfigBytes,
+// sent to the config leader (lowest-identifier member) for combination.
+type MsgConfigShare struct {
+	Phase      uint64
+	Quorum     int
+	Members    []pki.Identity
+	Aggregator pki.Identity
+	ShareIndex uint32
+	Share      []byte
+}
+
+// MsgStateTransfer bootstraps a joining controller (§4.3 step iv): the
+// membership, phase, group key (public material only), peer-domain view,
+// and the pending change it must participate in. In the real system this
+// rides an encrypted channel; the simulation passes the values directly.
+type MsgStateTransfer struct {
+	Phase       uint64
+	NewPhase    uint64
+	Members     []pki.Identity // membership before the change
+	NewMembers  []pki.Identity
+	GroupKey    any // *bls.GroupKey (any avoids an import cycle)
+	PeerDomains map[int][]pki.Identity
+}
+
+// MembershipOp is a control-plane membership change.
+type MembershipOp int
+
+// Membership operations. Start at 1 so the zero value is invalid.
+const (
+	MemberAdd MembershipOp = iota + 1
+	MemberRemove
+)
+
+// String names the operation.
+func (op MembershipOp) String() string {
+	if op == MemberAdd {
+		return "add"
+	}
+	return "remove"
+}
+
+// MembershipChange is agreed through the atomic broadcast before any
+// resharing begins (Fig. 8c).
+type MembershipChange struct {
+	Op MembershipOp `json:"op"`
+	// Controller is the identity being added or removed.
+	Controller pki.Identity `json:"controller"`
+	// Phase is the membership phase this change installs (old phase + 1).
+	Phase uint64 `json:"phase"`
+}
+
+// BroadcastItem is the payload the control plane atomically broadcasts:
+// either an event or a membership change.
+type BroadcastItem struct {
+	Event      *Event            `json:"event,omitempty"`
+	Membership *MembershipChange `json:"membership,omitempty"`
+	// Phase tags events with the broadcaster's membership phase; events
+	// from an older phase are re-queued (§4.3).
+	Phase uint64 `json:"phase"`
+	// Origin is the controller that broadcast the item.
+	Origin pki.Identity `json:"origin"`
+}
+
+// Encode serializes the item for the atomic broadcast.
+func (it BroadcastItem) Encode() []byte {
+	b, err := json.Marshal(it)
+	if err != nil {
+		panic(fmt.Sprintf("protocol: encode broadcast item: %v", err))
+	}
+	return b
+}
+
+// DecodeBroadcastItem parses a broadcast payload.
+func DecodeBroadcastItem(data []byte) (BroadcastItem, error) {
+	var it BroadcastItem
+	if err := json.Unmarshal(data, &it); err != nil {
+		return BroadcastItem{}, fmt.Errorf("protocol: decode broadcast item: %w", err)
+	}
+	return it, nil
+}
+
+// MsgReshareDeal is a resharing dealer's broadcast to the (new) control
+// plane during a membership change.
+type MsgReshareDeal struct {
+	Phase uint64
+	Deal  *dkg.ReshareDeal
+}
+
+// MsgReshareSub is a dealer's private sub-share to one new member.
+type MsgReshareSub struct {
+	Phase uint64
+	Sub   dkg.SubShare
+}
+
+// MsgHeartbeat is the failure detector's liveness probe.
+type MsgHeartbeat struct {
+	From pki.Identity
+	Seq  uint64
+}
+
+// MsgBFT wraps an atomic-broadcast protocol message between two
+// controllers of the same domain. Phase scopes the message to a
+// membership epoch: the broadcast group is rebuilt on every membership
+// change, and messages from other epochs are buffered or dropped.
+type MsgBFT struct {
+	Phase uint64
+	Inner any
+}

@@ -1,0 +1,191 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cicero/internal/openflow"
+)
+
+// This file implements a Dionysus-style capacity-aware migration
+// scheduler (Jin et al., SIGCOMM '14 — cited by the paper as a pluggable
+// update scheduler). Where ReversePath orders the updates of a single
+// flow, ScheduleMigrations orders updates ACROSS flows so that moving a
+// set of flows to new paths never over-provisions a link (the paper's
+// Fig. 3 congestion-freedom precondition): a flow only moves onto a link
+// when the bandwidth it needs has been freed by earlier migrations.
+//
+// The algorithm plans in waves: a migration is schedulable when every
+// link its new path adds has headroom for its bandwidth, assuming the
+// flow transiently occupies BOTH paths (make-before-break). Scheduled
+// migrations release their old links for the next wave. Each wave's adds
+// are gated on the previous wave's deletes through update dependencies,
+// so the runtime engine enforces the ordering with acknowledgements. If
+// no progress is possible (a capacity deadlock, which Dionysus resolves
+// by rate-limiting), ErrDeadlock reports the stuck migrations.
+
+// Migration moves one flow from OldPath to NewPath.
+type Migration struct {
+	// FlowID identifies the migration in errors.
+	FlowID string
+	// Bandwidth is the flow's reserved bandwidth (same unit as Capacity).
+	Bandwidth float64
+	// OldPath and NewPath are node paths (hosts included or not — only
+	// pairwise links matter).
+	OldPath []string
+	NewPath []string
+	// AddUpdates install the new path (path order); DelUpdates remove the
+	// old one. They are emitted into the plan with cross-flow gating.
+	AddUpdates []Update
+	DelUpdates []Update
+}
+
+// ErrDeadlock reports migrations that cannot proceed without transient
+// over-provisioning.
+var ErrDeadlock = errors.New("scheduler: capacity deadlock")
+
+// migLink canonicalizes an undirected link.
+func migLink(a, b string) [2]string {
+	if a < b {
+		return [2]string{a, b}
+	}
+	return [2]string{b, a}
+}
+
+// pathLinks returns a path's link set.
+func pathLinks(path []string) map[[2]string]bool {
+	links := make(map[[2]string]bool, len(path))
+	for i := 0; i+1 < len(path); i++ {
+		links[migLink(path[i], path[i+1])] = true
+	}
+	return links
+}
+
+// ScheduleMigrations produces a congestion-free plan for a set of flow
+// migrations. capacity returns a link's total capacity; usage returns the
+// bandwidth currently reserved on it by flows OUTSIDE the migration set
+// (the migrating flows' own old-path usage is accounted internally).
+func ScheduleMigrations(
+	migrations []Migration,
+	capacity func(a, b string) float64,
+	usage func(a, b string) float64,
+) (Plan, error) {
+	// Track reserved bandwidth per link: external usage + old paths of
+	// not-yet-moved migrations + new paths of moved ones.
+	reserved := make(map[[2]string]float64)
+	caps := make(map[[2]string]float64)
+	touch := func(a, b string) {
+		l := migLink(a, b)
+		if _, ok := caps[l]; !ok {
+			caps[l] = capacity(a, b)
+			reserved[l] = usage(a, b)
+		}
+	}
+	for _, m := range migrations {
+		for i := 0; i+1 < len(m.OldPath); i++ {
+			touch(m.OldPath[i], m.OldPath[i+1])
+		}
+		for i := 0; i+1 < len(m.NewPath); i++ {
+			touch(m.NewPath[i], m.NewPath[i+1])
+		}
+	}
+	for _, m := range migrations {
+		for l := range pathLinks(m.OldPath) {
+			reserved[l] += m.Bandwidth
+		}
+	}
+
+	pending := make([]int, len(migrations))
+	for i := range pending {
+		pending[i] = i
+	}
+	var plan Plan
+	// prevWaveDeletes gate the next wave's adds.
+	var prevWaveDeletes []openflow.MsgID
+
+	appendFlowPlan := func(m Migration, gates []openflow.MsgID) []openflow.MsgID {
+		// Per-flow ordering: reverse-chained adds, then deletes gated on
+		// the ingress add (ReversePath's mixed-plan semantics), with the
+		// wave gate on the deepest add.
+		updates := append(append([]Update(nil), m.AddUpdates...), m.DelUpdates...)
+		sub := ReversePath{}.Schedule(updates)
+		if len(m.AddUpdates) > 0 && len(gates) > 0 {
+			// The downstream-most add (the first to be released) waits for
+			// the previous wave's deletes to free capacity.
+			last := len(m.AddUpdates) - 1
+			sub[last].DependsOn = append(sub[last].DependsOn, gates...)
+		}
+		plan = append(plan, sub...)
+		ids := make([]openflow.MsgID, 0, len(m.DelUpdates))
+		for _, u := range m.DelUpdates {
+			ids = append(ids, u.ID)
+		}
+		if len(ids) == 0 && len(m.AddUpdates) > 0 {
+			// No deletes: the final (ingress) add is the completion gate.
+			ids = append(ids, m.AddUpdates[0].ID)
+		}
+		return ids
+	}
+
+	for len(pending) > 0 {
+		// A migration fits when every link its new path ADDS (not shared
+		// with the old path) has headroom for its bandwidth.
+		var wave, rest []int
+		for _, idx := range pending {
+			m := migrations[idx]
+			old := pathLinks(m.OldPath)
+			fits := true
+			for l := range pathLinks(m.NewPath) {
+				if old[l] {
+					continue // stays on this link: no extra demand
+				}
+				if reserved[l]+m.Bandwidth > caps[l] {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				wave = append(wave, idx)
+			} else {
+				rest = append(rest, idx)
+			}
+		}
+		if len(wave) == 0 {
+			stuck := make([]string, 0, len(rest))
+			for _, idx := range rest {
+				stuck = append(stuck, migrations[idx].FlowID)
+			}
+			sort.Strings(stuck)
+			return nil, fmt.Errorf("%w: flows %v cannot move without over-provisioning", ErrDeadlock, stuck)
+		}
+		// Reserve new paths for the wave, emit plans, then release old
+		// paths for the next wave.
+		var waveDeletes []openflow.MsgID
+		for _, idx := range wave {
+			m := migrations[idx]
+			old := pathLinks(m.OldPath)
+			for l := range pathLinks(m.NewPath) {
+				if !old[l] {
+					reserved[l] += m.Bandwidth
+				}
+			}
+			waveDeletes = append(waveDeletes, appendFlowPlan(m, prevWaveDeletes)...)
+		}
+		for _, idx := range wave {
+			m := migrations[idx]
+			newLinks := pathLinks(m.NewPath)
+			for l := range pathLinks(m.OldPath) {
+				if !newLinks[l] {
+					reserved[l] -= m.Bandwidth
+				}
+			}
+		}
+		prevWaveDeletes = waveDeletes
+		pending = rest
+	}
+	if err := Validate(plan); err != nil {
+		return nil, fmt.Errorf("scheduler: migration plan invalid: %w", err)
+	}
+	return plan, nil
+}

@@ -1,0 +1,154 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"cicero/internal/openflow"
+)
+
+// Engine is the runtime dependency tracker a controller runs (Fig. 7b of
+// the paper): updates whose dependency sets are empty are released
+// immediately; as acknowledgements arrive, satisfied dependents are
+// released. Updates belonging to different plans (different events) are
+// tracked independently and hence proceed in parallel.
+//
+// Engine is not concurrency-safe; in the discrete-event simulation each
+// controller owns one engine driven from its handlers.
+type Engine struct {
+	// release is invoked for every update the moment it becomes ready.
+	release func(ScheduledUpdate)
+
+	waiting    map[openflow.MsgID]*engineEntry
+	dependents map[openflow.MsgID][]openflow.MsgID
+	acked      map[openflow.MsgID]bool
+	inFlight   int
+}
+
+// engineEntry is an update still blocked on dependencies.
+type engineEntry struct {
+	update  ScheduledUpdate
+	missing map[openflow.MsgID]struct{}
+}
+
+// NewEngine creates an engine that calls release for each ready update.
+func NewEngine(release func(ScheduledUpdate)) *Engine {
+	return &Engine{
+		release:    release,
+		waiting:    make(map[openflow.MsgID]*engineEntry),
+		dependents: make(map[openflow.MsgID][]openflow.MsgID),
+		acked:      make(map[openflow.MsgID]bool),
+	}
+}
+
+// Add registers a plan. Ready updates are released before Add returns;
+// the rest wait for Ack calls. Dependencies may reference updates inside
+// the plan or updates already acknowledged (e.g. from an earlier partial
+// plan); anything else is ErrUnknownDependency.
+func (e *Engine) Add(plan Plan) error {
+	if err := e.validate(plan); err != nil {
+		return err
+	}
+	for _, su := range plan {
+		e.inFlight++
+		missing := make(map[openflow.MsgID]struct{})
+		for _, dep := range su.DependsOn {
+			if !e.acked[dep] {
+				missing[dep] = struct{}{}
+				e.dependents[dep] = append(e.dependents[dep], su.ID)
+			}
+		}
+		if len(missing) == 0 {
+			e.release(su)
+			continue
+		}
+		e.waiting[su.ID] = &engineEntry{update: su, missing: missing}
+	}
+	return nil
+}
+
+// validate is Validate with engine context: already-acked dependencies
+// are considered satisfied, and ids already tracked are duplicates.
+func (e *Engine) validate(plan Plan) error {
+	index := make(map[openflow.MsgID]int, len(plan))
+	for i, su := range plan {
+		if _, dup := index[su.ID]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateUpdate, su.ID)
+		}
+		if _, tracked := e.waiting[su.ID]; tracked || e.acked[su.ID] {
+			return fmt.Errorf("%w: %s", ErrDuplicateUpdate, su.ID)
+		}
+		index[su.ID] = i
+	}
+	indeg := make([]int, len(plan))
+	dependents := make([][]int, len(plan))
+	for i, su := range plan {
+		for _, dep := range su.DependsOn {
+			j, inPlan := index[dep]
+			if !inPlan {
+				if e.acked[dep] {
+					continue // satisfied externally
+				}
+				return fmt.Errorf("%w: %s depends on %s", ErrUnknownDependency, su.ID, dep)
+			}
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, j := range dependents[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if seen != len(plan) {
+		return ErrCycle
+	}
+	return nil
+}
+
+// Ack records that an update has been applied by its switch, releasing
+// any updates whose dependencies are now all satisfied. Duplicate acks
+// are ignored.
+func (e *Engine) Ack(id openflow.MsgID) {
+	if e.acked[id] {
+		return
+	}
+	e.acked[id] = true
+	if e.inFlight > 0 {
+		e.inFlight--
+	}
+	for _, depID := range e.dependents[id] {
+		entry, ok := e.waiting[depID]
+		if !ok {
+			continue
+		}
+		delete(entry.missing, id)
+		if len(entry.missing) == 0 {
+			delete(e.waiting, depID)
+			e.release(entry.update)
+		}
+	}
+	delete(e.dependents, id)
+}
+
+// Acked reports whether an update has been acknowledged.
+func (e *Engine) Acked(id openflow.MsgID) bool { return e.acked[id] }
+
+// Waiting returns the number of blocked updates.
+func (e *Engine) Waiting() int { return len(e.waiting) }
+
+// InFlight returns the number of updates released or blocked but not yet
+// acknowledged.
+func (e *Engine) InFlight() int { return e.inFlight }

@@ -1,0 +1,279 @@
+// Package scheduler implements Cicero's update scheduling model (§3.1 of
+// the paper): a change to data-plane state is a set of updates
+// u = (switch, rule), and an update scheduler assigns each update a
+// dependence set D of updates that must be applied (and acknowledged)
+// before it. Updates with disjoint dependency closures proceed in
+// parallel; dependent updates are released as acknowledgements arrive.
+//
+// The package provides:
+//   - ReversePath: the scheduler the paper evaluates — rules for a flow
+//     are installed downstream-to-upstream so no packet can travel a hop
+//     whose continuation is not yet programmed (and teardowns are removed
+//     upstream-to-downstream, draining before unprogramming).
+//   - Immediate: no ordering, the inconsistent baseline used as a
+//     negative control for the Table 1 scenarios.
+//   - Static: caller-specified dependency graphs (Dionysus-style), with
+//     DAG validation.
+//   - Engine: the runtime dependency tracker each controller runs,
+//     releasing updates as acks arrive.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cicero/internal/openflow"
+)
+
+// Update is one rule change destined for one switch, with the globally
+// unique id used for signing, acking, and dependency tracking.
+type Update struct {
+	ID  openflow.MsgID
+	Mod openflow.FlowMod
+}
+
+// ScheduledUpdate is an update plus the ids that must be acknowledged
+// before it may be sent.
+type ScheduledUpdate struct {
+	Update
+	DependsOn []openflow.MsgID
+}
+
+// Plan is a dependency-ordered set of updates for one event.
+type Plan []ScheduledUpdate
+
+// Scheduler assigns dependencies to a path-ordered list of updates.
+// Updates must be given in flow-path order (source-side first); the id of
+// each produced update is updates[i].ID.
+type Scheduler interface {
+	// Schedule returns the dependency plan for the given updates.
+	Schedule(updates []Update) Plan
+	// Name identifies the scheduler in experiment output.
+	Name() string
+}
+
+// ReversePath is the paper's evaluated scheduler (§5.1): for rule
+// installation along a path s1 → s2 → s3, the update to s3 must complete
+// before s2's, and s2's before s1's. Deletions order the other way
+// (upstream first), so in-flight packets drain before downstream rules
+// disappear.
+type ReversePath struct{}
+
+var _ Scheduler = ReversePath{}
+
+// Name implements Scheduler.
+func (ReversePath) Name() string { return "reverse-path" }
+
+// Schedule implements Scheduler. Additions and deletions are chained
+// independently so mixed plans (route replacement: install the new path,
+// then retire the old one) stay acyclic:
+//
+//   - additions chain downstream-to-upstream among themselves: an add
+//     depends on the next add in path order;
+//   - deletions chain upstream-to-downstream among themselves, and the
+//     first deletion additionally depends on the first (ingress) addition
+//     — once the ingress forwards onto the new path, the old path only
+//     drains, so removing it is safe.
+func (ReversePath) Schedule(updates []Update) Plan {
+	plan := make(Plan, len(updates))
+	var addIdx, delIdx []int
+	for i, u := range updates {
+		if u.Mod.Op == openflow.FlowDelete {
+			delIdx = append(delIdx, i)
+		} else {
+			addIdx = append(addIdx, i)
+		}
+		plan[i] = ScheduledUpdate{Update: u}
+	}
+	for k, i := range addIdx {
+		if k+1 < len(addIdx) {
+			plan[i].DependsOn = []openflow.MsgID{updates[addIdx[k+1]].ID}
+		}
+	}
+	for k, i := range delIdx {
+		switch {
+		case k > 0:
+			plan[i].DependsOn = []openflow.MsgID{updates[delIdx[k-1]].ID}
+		case len(addIdx) > 0:
+			plan[i].DependsOn = []openflow.MsgID{updates[addIdx[0]].ID}
+		}
+	}
+	return plan
+}
+
+// Immediate applies all updates at once with no ordering. It reproduces
+// the transient inconsistencies of Table 1 and exists as a negative
+// control; production configurations must not use it.
+type Immediate struct{}
+
+var _ Scheduler = Immediate{}
+
+// Name implements Scheduler.
+func (Immediate) Name() string { return "immediate" }
+
+// Schedule implements Scheduler.
+func (Immediate) Schedule(updates []Update) Plan {
+	plan := make(Plan, len(updates))
+	for i, u := range updates {
+		plan[i] = ScheduledUpdate{Update: u}
+	}
+	return plan
+}
+
+// Static wraps a caller-provided dependency function, supporting
+// Dionysus-style externally computed dependency graphs. Deps receives the
+// update list and returns, for each position, the positions it depends on.
+type Static struct {
+	Label string
+	Deps  func(updates []Update) [][]int
+}
+
+var _ Scheduler = Static{}
+
+// Name implements Scheduler.
+func (s Static) Name() string {
+	if s.Label == "" {
+		return "static"
+	}
+	return s.Label
+}
+
+// Schedule implements Scheduler.
+func (s Static) Schedule(updates []Update) Plan {
+	deps := s.Deps(updates)
+	plan := make(Plan, len(updates))
+	for i, u := range updates {
+		su := ScheduledUpdate{Update: u}
+		if i < len(deps) {
+			for _, j := range deps[i] {
+				if j >= 0 && j < len(updates) && j != i {
+					su.DependsOn = append(su.DependsOn, updates[j].ID)
+				}
+			}
+		}
+		plan[i] = su
+	}
+	return plan
+}
+
+// Errors returned by the package.
+var (
+	// ErrCycle reports a dependency cycle in a plan.
+	ErrCycle = errors.New("scheduler: dependency cycle")
+	// ErrUnknownDependency reports a dependency on an id outside the plan.
+	ErrUnknownDependency = errors.New("scheduler: dependency on unknown update")
+	// ErrDuplicateUpdate reports two plan entries with the same id.
+	ErrDuplicateUpdate = errors.New("scheduler: duplicate update id")
+)
+
+// Validate checks that a plan is a DAG over its own updates.
+func Validate(plan Plan) error {
+	index := make(map[openflow.MsgID]int, len(plan))
+	for i, su := range plan {
+		if _, dup := index[su.ID]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateUpdate, su.ID)
+		}
+		index[su.ID] = i
+	}
+	for _, su := range plan {
+		for _, dep := range su.DependsOn {
+			if _, ok := index[dep]; !ok {
+				return fmt.Errorf("%w: %s depends on %s", ErrUnknownDependency, su.ID, dep)
+			}
+		}
+	}
+	// Kahn's algorithm for cycle detection.
+	indeg := make([]int, len(plan))
+	dependents := make([][]int, len(plan))
+	for i, su := range plan {
+		indeg[i] = len(su.DependsOn)
+		for _, dep := range su.DependsOn {
+			j := index[dep]
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, j := range dependents[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if seen != len(plan) {
+		return ErrCycle
+	}
+	return nil
+}
+
+// ParallelGroups partitions a plan into topological levels: every update
+// in level k depends only on updates in levels < k, so each level can be
+// dispatched in parallel once the previous level is acknowledged. It is
+// an analysis helper for tests and experiments; the Engine releases
+// updates with finer granularity.
+func ParallelGroups(plan Plan) ([][]ScheduledUpdate, error) {
+	if err := Validate(plan); err != nil {
+		return nil, err
+	}
+	index := make(map[openflow.MsgID]int, len(plan))
+	for i, su := range plan {
+		index[su.ID] = i
+	}
+	level := make([]int, len(plan))
+	// Longest-path level assignment via repeated relaxation (plans are
+	// small; O(V·E) is fine).
+	changed := true
+	for changed {
+		changed = false
+		for i, su := range plan {
+			for _, dep := range su.DependsOn {
+				j := index[dep]
+				if level[j]+1 > level[i] {
+					level[i] = level[j] + 1
+					changed = true
+				}
+			}
+		}
+	}
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	groups := make([][]ScheduledUpdate, maxLevel+1)
+	for i, su := range plan {
+		groups[level[i]] = append(groups[level[i]], su)
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(a, b int) bool { return g[a].ID.String() < g[b].ID.String() })
+	}
+	return groups, nil
+}
+
+// DisjointDependencies reports whether two scheduled updates may run in
+// parallel per the paper's §3.3 criterion: their dependency sets are
+// disjoint.
+func DisjointDependencies(a, b ScheduledUpdate) bool {
+	set := make(map[openflow.MsgID]struct{}, len(a.DependsOn))
+	for _, d := range a.DependsOn {
+		set[d] = struct{}{}
+	}
+	for _, d := range b.DependsOn {
+		if _, clash := set[d]; clash {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,230 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencyFunc returns the one-way propagation latency between two nodes.
+type LatencyFunc func(from, to NodeID) time.Duration
+
+// Network delivers messages between registered nodes over the simulator,
+// imposing latency, serialization delay, jitter, crash faults, and
+// partitions, and accounting per-node CPU usage.
+type Network struct {
+	sim   *Simulator
+	nodes map[NodeID]*node
+
+	// Latency computes propagation delay per (from, to) pair; when nil,
+	// DefaultLatency applies uniformly.
+	Latency LatencyFunc
+	// DefaultLatency applies when Latency is nil or returns a negative
+	// value for a pair.
+	DefaultLatency time.Duration
+	// Bandwidth, if non-zero, adds size/Bandwidth serialization delay
+	// (bytes per second).
+	Bandwidth float64
+	// JitterFrac adds uniform random jitter in [0, JitterFrac·latency).
+	JitterFrac float64
+
+	partitioned map[NodeID]map[NodeID]bool
+
+	// Stats
+	sent      uint64
+	delivered uint64
+	dropped   uint64
+	bytes     uint64
+}
+
+// node is the per-node bookkeeping.
+type node struct {
+	id        NodeID
+	handler   Handler
+	crashed   bool
+	busyUntil Time
+	busyTotal time.Duration
+}
+
+// NewNetwork creates a network on top of sim with a default latency.
+func NewNetwork(sim *Simulator, defaultLatency time.Duration) *Network {
+	return &Network{
+		sim:            sim,
+		nodes:          make(map[NodeID]*node),
+		DefaultLatency: defaultLatency,
+		partitioned:    make(map[NodeID]map[NodeID]bool),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// Register adds a node with its message handler. Registering an existing
+// id replaces its handler (used when a controller restarts).
+func (n *Network) Register(id NodeID, h Handler) {
+	if existing, ok := n.nodes[id]; ok {
+		existing.handler = h
+		existing.crashed = false
+		return
+	}
+	n.nodes[id] = &node{id: id, handler: h}
+}
+
+// Crash marks a node as failed: it no longer receives messages or timers.
+func (n *Network) Crash(id NodeID) {
+	if nd, ok := n.nodes[id]; ok {
+		nd.crashed = true
+	}
+}
+
+// Recover clears a node's crash flag.
+func (n *Network) Recover(id NodeID) {
+	if nd, ok := n.nodes[id]; ok {
+		nd.crashed = false
+	}
+}
+
+// Crashed reports whether the node is currently failed.
+func (n *Network) Crashed(id NodeID) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.crashed
+}
+
+// Partition severs the link between a and b in both directions.
+func (n *Network) Partition(a, b NodeID) {
+	if n.partitioned[a] == nil {
+		n.partitioned[a] = make(map[NodeID]bool)
+	}
+	if n.partitioned[b] == nil {
+		n.partitioned[b] = make(map[NodeID]bool)
+	}
+	n.partitioned[a][b] = true
+	n.partitioned[b][a] = true
+}
+
+// Heal restores the link between a and b.
+func (n *Network) Heal(a, b NodeID) {
+	delete(n.partitioned[a], b)
+	delete(n.partitioned[b], a)
+}
+
+// Send transmits msg of the given wire size from one node to another.
+// Delivery happens after propagation latency, serialization delay, and
+// jitter; it is silently dropped if the destination is crashed or the pair
+// is partitioned (datagram semantics — protocols must tolerate loss).
+func (n *Network) Send(from, to NodeID, msg Message, size int) {
+	n.sent++
+	n.bytes += uint64(size)
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.dropped++
+		return
+	}
+	if n.partitioned[from][to] {
+		n.dropped++
+		return
+	}
+	src := n.nodes[from]
+	// A busy sender emits after it finishes its current processing.
+	depart := n.sim.Now()
+	if src != nil && src.busyUntil > depart {
+		depart = src.busyUntil
+	}
+	arrive := depart + n.linkDelay(from, to, size)
+	n.sim.At(arrive, func() {
+		if dst.crashed {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		// A busy receiver queues the message until it is free.
+		start := n.sim.Now()
+		if dst.busyUntil > start {
+			n.sim.At(dst.busyUntil, func() {
+				if !dst.crashed {
+					dst.handler.HandleMessage(from, msg)
+				}
+			})
+			return
+		}
+		dst.handler.HandleMessage(from, msg)
+	})
+}
+
+// linkDelay computes propagation + serialization + jitter for a message.
+func (n *Network) linkDelay(from, to NodeID, size int) time.Duration {
+	lat := n.DefaultLatency
+	if n.Latency != nil {
+		if l := n.Latency(from, to); l >= 0 {
+			lat = l
+		}
+	}
+	if n.Bandwidth > 0 && size > 0 {
+		lat += time.Duration(float64(size) / n.Bandwidth * float64(time.Second))
+	}
+	if n.JitterFrac > 0 && lat > 0 {
+		lat += time.Duration(n.sim.rng.Float64() * n.JitterFrac * float64(lat))
+	}
+	return lat
+}
+
+// Charge accounts cost seconds of CPU work to a node, starting no earlier
+// than now: subsequent message handling and emissions from that node are
+// delayed accordingly, and the time is added to its utilization counter.
+func (n *Network) Charge(id NodeID, cost time.Duration) {
+	nd, ok := n.nodes[id]
+	if !ok || cost <= 0 {
+		return
+	}
+	start := n.sim.Now()
+	if nd.busyUntil > start {
+		start = nd.busyUntil
+	}
+	nd.busyUntil = start + cost
+	nd.busyTotal += cost
+}
+
+// BusyTotal returns the cumulative CPU time charged to a node.
+func (n *Network) BusyTotal(id NodeID) time.Duration {
+	if nd, ok := n.nodes[id]; ok {
+		return nd.busyTotal
+	}
+	return 0
+}
+
+// After schedules fn on a node after delay; it is suppressed if the node
+// is crashed when the timer fires.
+func (n *Network) After(id NodeID, delay time.Duration, fn func()) {
+	n.sim.Schedule(delay, func() {
+		if nd, ok := n.nodes[id]; ok && !nd.crashed {
+			fn()
+		}
+	})
+}
+
+// Stats summarizes traffic counters.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{Sent: n.sent, Delivered: n.delivered, Dropped: n.dropped, Bytes: n.bytes}
+}
+
+// NodeIDs returns the registered node ids (order unspecified).
+func (n *Network) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// String renders a short traffic summary for logs.
+func (n *Network) String() string {
+	return fmt.Sprintf("simnet{nodes=%d sent=%d delivered=%d dropped=%d}",
+		len(n.nodes), n.sent, n.delivered, n.dropped)
+}

@@ -1,0 +1,265 @@
+// Package bls implements Boneh–Lynn–Shacham short signatures and their
+// (t, n)-threshold variant over the symmetric Type-A pairing in
+// internal/tcrypto/pairing, mirroring the PBC-based construction used by
+// the Cicero paper for quorum update authentication.
+//
+// In the threshold scheme a single group public key is installed on every
+// switch while each controller holds only a Shamir share of the private
+// key. A controller produces a signature share σ_i = d_i·H(m); any t
+// shares combine by Lagrange interpolation in the exponent into the unique
+// group signature σ = x·H(m), which verifies against the group public key
+// with two pairings: e(σ, G) == e(H(m), X).
+package bls
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/tcrypto/shamir"
+)
+
+// Scheme binds the signature algorithms to a pairing parameter set.
+type Scheme struct {
+	Params *pairing.Params
+}
+
+// NewScheme returns a Scheme over the given pairing parameters.
+func NewScheme(params *pairing.Params) *Scheme {
+	return &Scheme{Params: params}
+}
+
+// PrivateKey is a full BLS private key (used by the dealer and by
+// non-threshold signers such as event sources when Ed25519 is not in use).
+type PrivateKey struct {
+	Scalar *big.Int
+}
+
+// PublicKey is a BLS public key X = x·G.
+type PublicKey struct {
+	Point *pairing.Point
+}
+
+// Signature is a BLS signature σ = x·H(m), a single G1 point.
+type Signature struct {
+	Point *pairing.Point
+}
+
+// SignatureShare is one controller's contribution σ_i = d_i·H(m).
+type SignatureShare struct {
+	Index uint32
+	Point *pairing.Point
+}
+
+// Bytes returns the canonical encoding of the signature.
+func (s Signature) Bytes(scheme *Scheme) []byte {
+	return scheme.Params.PointBytes(s.Point)
+}
+
+// GroupKey is the public description of a (t, n)-threshold key: the group
+// public key plus the Feldman commitments to the sharing polynomial, from
+// which every share's public key can be derived.
+type GroupKey struct {
+	T int
+	N int
+	// PK is the group public key X = x·G. It equals Commitments[0].
+	PK PublicKey
+	// Commitments are the Feldman commitments A_j = a_j·G to the sharing
+	// polynomial coefficients, enabling per-share verification keys.
+	Commitments []*pairing.Point
+}
+
+// KeyShare is one controller's private share d_i = f(i) of the group key.
+type KeyShare struct {
+	Index  uint32
+	Scalar *big.Int
+}
+
+// Errors returned by the package.
+var (
+	// ErrTooFewShares reports fewer signature shares than the threshold.
+	ErrTooFewShares = errors.New("bls: not enough signature shares")
+	// ErrDuplicateShare reports two shares with the same index.
+	ErrDuplicateShare = errors.New("bls: duplicate share index")
+	// ErrInvalidShare reports a signature share failing verification.
+	ErrInvalidShare = errors.New("bls: invalid signature share")
+)
+
+// GenerateKey samples a fresh full key pair.
+func (s *Scheme) GenerateKey(rand io.Reader) (PrivateKey, PublicKey, error) {
+	x, err := s.Params.RandomScalar(rand)
+	if err != nil {
+		return PrivateKey{}, PublicKey{}, fmt.Errorf("bls: generate key: %w", err)
+	}
+	return PrivateKey{Scalar: x}, PublicKey{Point: s.Params.ScalarBaseMul(x)}, nil
+}
+
+// HashToPoint maps a message to the curve; callers signing or verifying
+// the same message repeatedly should cache the result.
+func (s *Scheme) HashToPoint(msg []byte) *pairing.Point {
+	return s.Params.HashToG1(msg)
+}
+
+// Sign produces σ = x·H(m).
+func (s *Scheme) Sign(sk PrivateKey, msg []byte) Signature {
+	return s.SignDigest(sk, s.HashToPoint(msg))
+}
+
+// SignDigest signs a pre-hashed message point.
+func (s *Scheme) SignDigest(sk PrivateKey, hm *pairing.Point) Signature {
+	return Signature{Point: s.Params.ScalarMul(hm, sk.Scalar)}
+}
+
+// Verify checks e(σ, G) == e(H(m), X).
+func (s *Scheme) Verify(pk PublicKey, msg []byte, sig Signature) bool {
+	return s.VerifyDigest(pk, s.HashToPoint(msg), sig)
+}
+
+// VerifyDigest checks a signature against a pre-hashed message point.
+func (s *Scheme) VerifyDigest(pk PublicKey, hm *pairing.Point, sig Signature) bool {
+	if sig.Point.IsInfinity() || pk.Point.IsInfinity() {
+		return false
+	}
+	left := s.Params.Pair(sig.Point, s.Params.G)
+	right := s.Params.Pair(hm, pk.Point)
+	return left.Equal(right)
+}
+
+// Deal splits a fresh group key into n shares with threshold t using a
+// trusted dealer; it is used at bootstrap and in tests. Production
+// membership changes use the dealerless DKG in internal/tcrypto/dkg.
+func (s *Scheme) Deal(rand io.Reader, t, n int) (*GroupKey, []KeyShare, error) {
+	if t < 1 || t > n {
+		return nil, nil, shamir.ErrThreshold
+	}
+	x, err := s.Params.RandomScalar(rand)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bls: deal: %w", err)
+	}
+	poly, err := shamir.NewPolynomial(rand, s.Params.R, x, t)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bls: deal: %w", err)
+	}
+	gk := &GroupKey{T: t, N: n, Commitments: make([]*pairing.Point, t)}
+	for j, coeff := range poly.Coeffs {
+		gk.Commitments[j] = s.Params.ScalarBaseMul(coeff)
+	}
+	gk.PK = PublicKey{Point: gk.Commitments[0]}
+	shares := make([]KeyShare, n)
+	for i := 1; i <= n; i++ {
+		shares[i-1] = KeyShare{Index: uint32(i), Scalar: poly.Eval(uint32(i))}
+	}
+	return gk, shares, nil
+}
+
+// SharePublicKey derives the verification key d_i·G for share index i from
+// the Feldman commitments: Σ_j A_j·i^j.
+func (s *Scheme) SharePublicKey(gk *GroupKey, index uint32) *pairing.Point {
+	acc := pairing.Infinity()
+	xi := new(big.Int).SetUint64(uint64(index))
+	pow := big.NewInt(1)
+	for _, commitment := range gk.Commitments {
+		term := s.Params.ScalarMul(commitment, pow)
+		acc = s.Params.Add(acc, term)
+		pow = new(big.Int).Mul(pow, xi)
+		pow.Mod(pow, s.Params.R)
+	}
+	return acc
+}
+
+// SignShare produces this controller's signature share on msg.
+func (s *Scheme) SignShare(share KeyShare, msg []byte) SignatureShare {
+	return s.SignShareDigest(share, s.HashToPoint(msg))
+}
+
+// SignShareDigest signs a pre-hashed message point with a key share.
+func (s *Scheme) SignShareDigest(share KeyShare, hm *pairing.Point) SignatureShare {
+	return SignatureShare{Index: share.Index, Point: s.Params.ScalarMul(hm, share.Scalar)}
+}
+
+// VerifyShare checks a signature share against its derived verification
+// key: e(σ_i, G) == e(H(m), d_i·G).
+func (s *Scheme) VerifyShare(gk *GroupKey, msg []byte, share SignatureShare) bool {
+	return s.VerifyShareDigest(gk, s.HashToPoint(msg), share)
+}
+
+// VerifyShareDigest checks a share against a pre-hashed message point.
+func (s *Scheme) VerifyShareDigest(gk *GroupKey, hm *pairing.Point, share SignatureShare) bool {
+	if share.Index == 0 || share.Point.IsInfinity() {
+		return false
+	}
+	vk := s.SharePublicKey(gk, share.Index)
+	left := s.Params.Pair(share.Point, s.Params.G)
+	right := s.Params.Pair(hm, vk)
+	return left.Equal(right)
+}
+
+// Combine aggregates at least t signature shares into the group signature
+// by Lagrange interpolation in the exponent. It does not verify shares;
+// callers either pre-verify with VerifyShare or verify the aggregate with
+// Verify (and fall back to share-level identification on failure).
+func (s *Scheme) Combine(gk *GroupKey, shares []SignatureShare) (Signature, error) {
+	if len(shares) < gk.T {
+		return Signature{}, ErrTooFewShares
+	}
+	subset := shares[:gk.T]
+	indices := make([]uint32, len(subset))
+	seen := make(map[uint32]struct{}, len(subset))
+	for i, sh := range subset {
+		if _, dup := seen[sh.Index]; dup {
+			return Signature{}, ErrDuplicateShare
+		}
+		seen[sh.Index] = struct{}{}
+		indices[i] = sh.Index
+	}
+	acc := pairing.Infinity()
+	for i, sh := range subset {
+		lambda, err := shamir.LagrangeCoefficient(s.Params.R, indices, i)
+		if err != nil {
+			return Signature{}, fmt.Errorf("bls: combine: %w", err)
+		}
+		acc = s.Params.Add(acc, s.Params.ScalarMul(sh.Point, lambda))
+	}
+	return Signature{Point: acc}, nil
+}
+
+// CombineVerified aggregates shares into a verified group signature. It
+// first combines optimistically and checks the aggregate; on failure it
+// identifies and discards invalid shares using per-share pairing checks,
+// then retries with the survivors. This mirrors the robust combine used on
+// switches/aggregators facing potentially Byzantine controllers.
+func (s *Scheme) CombineVerified(gk *GroupKey, msg []byte, shares []SignatureShare) (Signature, error) {
+	hm := s.HashToPoint(msg)
+	sig, err := s.Combine(gk, shares)
+	if err == nil && s.VerifyDigest(gk.PK, hm, sig) {
+		return sig, nil
+	}
+	if err != nil && !errors.Is(err, ErrDuplicateShare) {
+		return Signature{}, err
+	}
+	// Slow path: filter by per-share verification, deduplicate by index.
+	valid := make([]SignatureShare, 0, len(shares))
+	seen := make(map[uint32]struct{}, len(shares))
+	for _, sh := range shares {
+		if _, dup := seen[sh.Index]; dup {
+			continue
+		}
+		if s.VerifyShareDigest(gk, hm, sh) {
+			seen[sh.Index] = struct{}{}
+			valid = append(valid, sh)
+		}
+	}
+	if len(valid) < gk.T {
+		return Signature{}, ErrInvalidShare
+	}
+	sig, err = s.Combine(gk, valid)
+	if err != nil {
+		return Signature{}, err
+	}
+	if !s.VerifyDigest(gk.PK, hm, sig) {
+		return Signature{}, ErrInvalidShare
+	}
+	return sig, nil
+}

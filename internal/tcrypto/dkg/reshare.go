@@ -1,0 +1,280 @@
+package dkg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/tcrypto/shamir"
+)
+
+// Resharing transfers an existing (tOld, nOld) sharing to a new group with
+// a possibly different (tNew, nNew) while keeping the group public key
+// fixed: each dealer i in an old quorum S deals a fresh polynomial g_i with
+// g_i(0) = λ_i(S)·d_i (its Lagrange-weighted old share), and a new member
+// j's share is Σ_{i∈S} g_i(j) — a share of Σ λ_i d_i = x, the unchanged
+// group secret.
+//
+// Dealers are held accountable: a ReshareDeal's constant-term commitment
+// must equal λ_i(S)·(d_i·G), which every verifier derives from the old
+// group key's Feldman commitments. Sub-shares are checked against the
+// dealer's commitments exactly as in the DKG.
+
+// ErrBadReshareDeal reports a reshare dealing whose constant-term
+// commitment is inconsistent with the dealer's old verification key.
+var ErrBadReshareDeal = errors.New("dkg: reshare deal inconsistent with old share commitment")
+
+// ReshareDeal is a dealer's public broadcast in the resharing protocol.
+type ReshareDeal struct {
+	// Dealer is the dealer's index in the OLD group.
+	Dealer uint32
+	// DealerSet is the quorum S of old-group indices performing the
+	// reshare; the Lagrange weight of Dealer is computed over this set.
+	DealerSet []uint32
+	// Commitments are Feldman commitments to g_i, of length tNew.
+	Commitments []*pairing.Point
+}
+
+// ReshareDealer produces one old member's contribution to a reshare.
+// dealerSet must be the same ordered quorum at every dealer (agreed via
+// consensus); share is the dealer's old key share.
+func ReshareDealer(
+	scheme *bls.Scheme,
+	rand io.Reader,
+	share bls.KeyShare,
+	dealerSet []uint32,
+	tNew int,
+	newIndices []uint32,
+) (*ReshareDeal, []SubShare, error) {
+	if tNew < 1 || tNew > len(newIndices) {
+		return nil, nil, shamir.ErrThreshold
+	}
+	pos := -1
+	for i, idx := range dealerSet {
+		if idx == share.Index {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, nil, fmt.Errorf("dkg: dealer %d not in dealer set", share.Index)
+	}
+	lambda, err := shamir.LagrangeCoefficient(scheme.Params.R, dealerSet, pos)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dkg: reshare lagrange: %w", err)
+	}
+	constant := new(big.Int).Mul(lambda, share.Scalar)
+	constant.Mod(constant, scheme.Params.R)
+	poly, err := shamir.NewPolynomial(rand, scheme.Params.R, constant, tNew)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dkg: reshare polynomial: %w", err)
+	}
+	deal := &ReshareDeal{
+		Dealer:      share.Index,
+		DealerSet:   append([]uint32(nil), dealerSet...),
+		Commitments: make([]*pairing.Point, tNew),
+	}
+	for j, coeff := range poly.Coeffs {
+		deal.Commitments[j] = scheme.Params.ScalarBaseMul(coeff)
+	}
+	subShares := make([]SubShare, 0, len(newIndices))
+	for _, j := range newIndices {
+		subShares = append(subShares, SubShare{
+			Dealer:    share.Index,
+			Recipient: j,
+			Value:     poly.Eval(j),
+		})
+	}
+	return deal, subShares, nil
+}
+
+// VerifyReshareDeal checks that a dealer's constant-term commitment equals
+// its Lagrange-weighted old verification key, binding the reshare to the
+// old group key so a Byzantine dealer cannot inject a different secret.
+func VerifyReshareDeal(scheme *bls.Scheme, oldGK *bls.GroupKey, deal *ReshareDeal) error {
+	pos := -1
+	for i, idx := range deal.DealerSet {
+		if idx == deal.Dealer {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("dkg: dealer %d missing from its own dealer set", deal.Dealer)
+	}
+	lambda, err := shamir.LagrangeCoefficient(scheme.Params.R, deal.DealerSet, pos)
+	if err != nil {
+		return fmt.Errorf("dkg: reshare lagrange: %w", err)
+	}
+	oldVK := scheme.SharePublicKey(oldGK, deal.Dealer)
+	want := scheme.Params.ScalarMul(oldVK, lambda)
+	if !deal.Commitments[0].Equal(want) {
+		return ErrBadReshareDeal
+	}
+	return nil
+}
+
+// ReshareReceiver is a new-group member's state machine collecting reshare
+// deals and sub-shares.
+type ReshareReceiver struct {
+	scheme *bls.Scheme
+	oldGK  *bls.GroupKey
+	self   uint32
+	tNew   int
+	nNew   int
+
+	deals     map[uint32]*ReshareDeal
+	subShares map[uint32]*big.Int
+}
+
+// NewReshareReceiver creates the receiver state for new-group index self.
+func NewReshareReceiver(scheme *bls.Scheme, oldGK *bls.GroupKey, self uint32, tNew, nNew int) (*ReshareReceiver, error) {
+	if tNew < 1 || tNew > nNew {
+		return nil, shamir.ErrThreshold
+	}
+	if self == 0 || int(self) > nNew {
+		return nil, fmt.Errorf("dkg: receiver index %d out of range 1..%d", self, nNew)
+	}
+	return &ReshareReceiver{
+		scheme:    scheme,
+		oldGK:     oldGK,
+		self:      self,
+		tNew:      tNew,
+		nNew:      nNew,
+		deals:     make(map[uint32]*ReshareDeal),
+		subShares: make(map[uint32]*big.Int),
+	}, nil
+}
+
+// HandleDeal validates and records a dealer's broadcast.
+func (r *ReshareReceiver) HandleDeal(deal *ReshareDeal) error {
+	if len(deal.Commitments) != r.tNew {
+		return fmt.Errorf("dkg: reshare dealer %d sent %d commitments, want %d",
+			deal.Dealer, len(deal.Commitments), r.tNew)
+	}
+	if err := VerifyReshareDeal(r.scheme, r.oldGK, deal); err != nil {
+		return err
+	}
+	r.deals[deal.Dealer] = deal
+	return nil
+}
+
+// HandleSubShare validates and records a dealer's private sub-share.
+func (r *ReshareReceiver) HandleSubShare(ss SubShare) error {
+	if ss.Recipient != r.self {
+		return ErrWrongRecipient
+	}
+	deal, ok := r.deals[ss.Dealer]
+	if !ok {
+		return ErrUnknownDealer
+	}
+	if !verifySubShare(r.scheme, deal.Commitments, r.self, ss.Value) {
+		return ErrInvalidSubShare
+	}
+	r.subShares[ss.Dealer] = new(big.Int).Set(ss.Value)
+	return nil
+}
+
+// Finalize combines sub-shares from the agreed dealer set into this
+// member's new key share and the new group key. The group public key is
+// verified to equal the old one.
+func (r *ReshareReceiver) Finalize(dealerSet []uint32) (bls.KeyShare, *bls.GroupKey, error) {
+	sorted := append([]uint32(nil), dealerSet...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	shareVal := new(big.Int)
+	commitments := make([]*pairing.Point, r.tNew)
+	for j := range commitments {
+		commitments[j] = pairing.Infinity()
+	}
+	for _, dealer := range sorted {
+		deal, ok := r.deals[dealer]
+		if !ok {
+			return bls.KeyShare{}, nil, fmt.Errorf("dkg: missing reshare deal from dealer %d", dealer)
+		}
+		sub, ok := r.subShares[dealer]
+		if !ok {
+			return bls.KeyShare{}, nil, fmt.Errorf("dkg: missing reshare sub-share from dealer %d", dealer)
+		}
+		shareVal.Add(shareVal, sub)
+		shareVal.Mod(shareVal, r.scheme.Params.R)
+		for j := range commitments {
+			commitments[j] = r.scheme.Params.Add(commitments[j], deal.Commitments[j])
+		}
+	}
+	if !commitments[0].Equal(r.oldGK.PK.Point) {
+		return bls.KeyShare{}, nil, errors.New("dkg: reshare changed the group public key")
+	}
+	gk := &bls.GroupKey{
+		T:           r.tNew,
+		N:           r.nNew,
+		PK:          bls.PublicKey{Point: commitments[0]},
+		Commitments: commitments,
+	}
+	return bls.KeyShare{Index: r.self, Scalar: shareVal}, gk, nil
+}
+
+// RunReshare executes a complete in-memory reshare from the holders of
+// oldShares (which must number at least oldGK.T) to a new (tNew, nNew)
+// group, returning the new group key (same public key) and new shares.
+func RunReshare(
+	scheme *bls.Scheme,
+	rand io.Reader,
+	oldGK *bls.GroupKey,
+	oldShares []bls.KeyShare,
+	tNew, nNew int,
+) (*bls.GroupKey, []bls.KeyShare, error) {
+	if len(oldShares) < oldGK.T {
+		return nil, nil, ErrTooFewDealers
+	}
+	dealers := oldShares[:oldGK.T]
+	dealerSet := make([]uint32, len(dealers))
+	for i, s := range dealers {
+		dealerSet[i] = s.Index
+	}
+	newIndices := make([]uint32, nNew)
+	for i := range newIndices {
+		newIndices[i] = uint32(i + 1)
+	}
+	receivers := make([]*ReshareReceiver, nNew)
+	for i := range receivers {
+		recv, err := NewReshareReceiver(scheme, oldGK, uint32(i+1), tNew, nNew)
+		if err != nil {
+			return nil, nil, err
+		}
+		receivers[i] = recv
+	}
+	for _, dealer := range dealers {
+		deal, subShares, err := ReshareDealer(scheme, rand, dealer, dealerSet, tNew, newIndices)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, recv := range receivers {
+			if err := recv.HandleDeal(deal); err != nil {
+				return nil, nil, err
+			}
+			if err := recv.HandleSubShare(subShares[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	newShares := make([]bls.KeyShare, nNew)
+	var newGK *bls.GroupKey
+	for i, recv := range receivers {
+		share, gk, err := recv.Finalize(dealerSet)
+		if err != nil {
+			return nil, nil, err
+		}
+		newShares[i] = share
+		if newGK == nil {
+			newGK = gk
+		} else if !newGK.PK.Point.Equal(gk.PK.Point) {
+			return nil, nil, errors.New("dkg: receivers derived different group keys")
+		}
+	}
+	return newGK, newShares, nil
+}

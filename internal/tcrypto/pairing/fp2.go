@@ -1,0 +1,114 @@
+package pairing
+
+import "math/big"
+
+// GT is an element of the target group, represented in F_{p^2} as
+// A + B·i with i^2 = −1. Elements are immutable: all operations allocate
+// fresh results.
+type GT struct {
+	A, B *big.Int
+}
+
+// gtOne returns the multiplicative identity of F_{p^2}.
+func gtOne() *GT {
+	return &GT{A: big.NewInt(1), B: big.NewInt(0)}
+}
+
+// IsOne reports whether g is the multiplicative identity.
+func (g *GT) IsOne() bool {
+	return g.A.Cmp(big.NewInt(1)) == 0 && g.B.Sign() == 0
+}
+
+// Equal reports whether g and o are the same F_{p^2} element.
+func (g *GT) Equal(o *GT) bool {
+	return g.A.Cmp(o.A) == 0 && g.B.Cmp(o.B) == 0
+}
+
+// Bytes returns a fixed-width big-endian encoding of g, suitable for
+// hashing and wire transport.
+func (p *Params) gtBytes(g *GT) []byte {
+	w := (p.P.BitLen() + 7) / 8
+	out := make([]byte, 2*w)
+	g.A.FillBytes(out[:w])
+	g.B.FillBytes(out[w:])
+	return out
+}
+
+// gtMul returns x·y in F_{p^2}.
+func (p *Params) gtMul(x, y *GT) *GT {
+	// (a+bi)(c+di) = (ac − bd) + (ad + bc)i
+	ac := new(big.Int).Mul(x.A, y.A)
+	bd := new(big.Int).Mul(x.B, y.B)
+	ad := new(big.Int).Mul(x.A, y.B)
+	bc := new(big.Int).Mul(x.B, y.A)
+	a := ac.Sub(ac, bd)
+	a.Mod(a, p.P)
+	b := ad.Add(ad, bc)
+	b.Mod(b, p.P)
+	return &GT{A: a, B: b}
+}
+
+// gtSquare returns x² in F_{p^2}.
+func (p *Params) gtSquare(x *GT) *GT {
+	// (a+bi)^2 = (a−b)(a+b) + 2ab·i
+	sum := new(big.Int).Add(x.A, x.B)
+	diff := new(big.Int).Sub(x.A, x.B)
+	a := sum.Mul(sum, diff)
+	a.Mod(a, p.P)
+	b := new(big.Int).Mul(x.A, x.B)
+	b.Lsh(b, 1)
+	b.Mod(b, p.P)
+	return &GT{A: a, B: b}
+}
+
+// gtConj returns the conjugate a − b·i, which equals x^p (the Frobenius).
+func (p *Params) gtConj(x *GT) *GT {
+	b := new(big.Int).Neg(x.B)
+	b.Mod(b, p.P)
+	return &GT{A: new(big.Int).Set(x.A), B: b}
+}
+
+// gtInv returns x^(−1) in F_{p^2}.
+func (p *Params) gtInv(x *GT) *GT {
+	// 1/(a+bi) = (a − bi)/(a² + b²)
+	norm := new(big.Int).Mul(x.A, x.A)
+	bb := new(big.Int).Mul(x.B, x.B)
+	norm.Add(norm, bb)
+	norm.Mod(norm, p.P)
+	norm.ModInverse(norm, p.P)
+	a := new(big.Int).Mul(x.A, norm)
+	a.Mod(a, p.P)
+	b := new(big.Int).Neg(x.B)
+	b.Mul(b, norm)
+	b.Mod(b, p.P)
+	return &GT{A: a, B: b}
+}
+
+// gtExp returns x^e in F_{p^2} for a non-negative exponent e.
+func (p *Params) gtExp(x *GT, e *big.Int) *GT {
+	result := gtOne()
+	if e.Sign() == 0 {
+		return result
+	}
+	base := &GT{A: new(big.Int).Set(x.A), B: new(big.Int).Set(x.B)}
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		result = p.gtSquare(result)
+		if e.Bit(i) == 1 {
+			result = p.gtMul(result, base)
+		}
+	}
+	return result
+}
+
+// GTExp returns g^e reduced modulo the group order; it is the scalar action
+// on the target group used by tests asserting bilinearity.
+func (p *Params) GTExp(g *GT, e *big.Int) *GT {
+	re := new(big.Int).Mod(e, p.R)
+	return p.gtExp(g, re)
+}
+
+// GTMul returns the product of two target-group elements.
+func (p *Params) GTMul(x, y *GT) *GT { return p.gtMul(x, y) }
+
+// GTBytes returns a canonical encoding of a target-group element.
+func (p *Params) GTBytes(g *GT) []byte { return p.gtBytes(g) }

@@ -1,0 +1,190 @@
+package pairing
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+)
+
+// Pair computes the symmetric reduced Tate pairing e(a, b) ∈ GT.
+//
+// Internally it evaluates the Miller function f_{r,a} at the distorted
+// point φ(b) = (−x_b, i·y_b) ∈ E(F_{p^2}) and applies the final
+// exponentiation z ↦ z^{(p²−1)/r}. The distortion map guarantees
+// non-degeneracy for a, b ∈ G1, yielding a symmetric pairing with
+// e(s·a, t·b) = e(a, b)^{s·t}.
+func (p *Params) Pair(a, b *Point) *GT {
+	if a.IsInfinity() || b.IsInfinity() {
+		return gtOne()
+	}
+	f := p.miller(a, b)
+	return p.finalExp(f)
+}
+
+// miller runs Miller's algorithm computing f_{r,a}(φ(b)).
+//
+// Lines through points of E(F_p) are evaluated at φ(b) = (−x_b, i·y_b):
+// a chord with slope λ through (x1, y1) evaluates to
+//
+//	(i·y_b) − y1 − λ(−x_b − x1)  =  [−y1 + λ(x_b + x1)] + y_b·i,
+//
+// and a vertical line through x1 evaluates to (−x_b − x1) + 0·i.
+func (p *Params) miller(a, b *Point) *GT {
+	xb := b.X
+	yb := b.Y
+
+	f := gtOne()
+	v := a.Clone()
+
+	// chordAt evaluates the line with slope lambda through (x1, y1) at φ(b).
+	chordAt := func(x1, y1, lambda *big.Int) *GT {
+		re := new(big.Int).Add(xb, x1)
+		re.Mul(re, lambda)
+		re.Sub(re, y1)
+		re.Mod(re, p.P)
+		return &GT{A: re, B: new(big.Int).Set(yb)}
+	}
+	// verticalAt evaluates the vertical line x = x1 at φ(b).
+	verticalAt := func(x1 *big.Int) *GT {
+		re := new(big.Int).Neg(xb)
+		re.Sub(re, x1)
+		re.Mod(re, p.P)
+		return &GT{A: re, B: big.NewInt(0)}
+	}
+
+	for i := p.R.BitLen() - 2; i >= 0; i-- {
+		// Doubling step: f ← f² · l_{v,v}(φ(b)); v ← 2v.
+		f = p.gtSquare(f)
+		if !v.IsInfinity() {
+			if v.Y.Sign() == 0 {
+				f = p.gtMul(f, verticalAt(v.X))
+				v = Infinity()
+			} else {
+				num := new(big.Int).Mul(v.X, v.X)
+				num.Mul(num, big.NewInt(3))
+				num.Add(num, big.NewInt(1))
+				den := new(big.Int).Lsh(v.Y, 1)
+				den.Mod(den, p.P)
+				den.ModInverse(den, p.P)
+				lambda := num.Mul(num, den)
+				lambda.Mod(lambda, p.P)
+				f = p.gtMul(f, chordAt(v.X, v.Y, lambda))
+				v = p.chord(v, v, lambda)
+			}
+		}
+		if p.R.Bit(i) == 1 {
+			// Addition step: f ← f · l_{v,a}(φ(b)); v ← v + a.
+			switch {
+			case v.IsInfinity():
+				v = a.Clone()
+			case v.X.Cmp(a.X) == 0:
+				sum := new(big.Int).Add(v.Y, a.Y)
+				sum.Mod(sum, p.P)
+				if sum.Sign() == 0 {
+					f = p.gtMul(f, verticalAt(v.X))
+					v = Infinity()
+				} else {
+					// v == a: tangent line (same as doubling step).
+					num := new(big.Int).Mul(v.X, v.X)
+					num.Mul(num, big.NewInt(3))
+					num.Add(num, big.NewInt(1))
+					den := new(big.Int).Lsh(v.Y, 1)
+					den.Mod(den, p.P)
+					den.ModInverse(den, p.P)
+					lambda := num.Mul(num, den)
+					lambda.Mod(lambda, p.P)
+					f = p.gtMul(f, chordAt(v.X, v.Y, lambda))
+					v = p.chord(v, v, lambda)
+				}
+			default:
+				num := new(big.Int).Sub(a.Y, v.Y)
+				den := new(big.Int).Sub(a.X, v.X)
+				den.Mod(den, p.P)
+				den.ModInverse(den, p.P)
+				lambda := num.Mul(num, den)
+				lambda.Mod(lambda, p.P)
+				f = p.gtMul(f, chordAt(v.X, v.Y, lambda))
+				v = p.chord(v, a, lambda)
+			}
+		}
+	}
+	return f
+}
+
+// finalExp raises z to (p²−1)/r = (p−1)·h, mapping Miller-function values
+// onto the order-r subgroup of F_{p^2}.
+func (p *Params) finalExp(z *GT) *GT {
+	// z^(p−1) = conj(z)/z: the Frobenius in F_{p^2} is conjugation.
+	t := p.gtMul(p.gtConj(z), p.gtInv(z))
+	// Then raise to (p+1)/r = h.
+	return p.gtExp(t, p.H)
+}
+
+// HashToG1 hashes arbitrary bytes to a point of order r using
+// try-and-increment followed by cofactor clearing.
+func (p *Params) HashToG1(msg []byte) *Point {
+	for ctr := uint32(0); ; ctr++ {
+		x := p.hashToField(msg, ctr)
+		// y² = x³ + x
+		y2 := new(big.Int).Mul(x, x)
+		y2.Mul(y2, x)
+		y2.Add(y2, x)
+		y2.Mod(y2, p.P)
+		if y2.Sign() == 0 {
+			continue
+		}
+		// Since p ≡ 3 (mod 4), a square root, if any, is y2^((p+1)/4).
+		y := new(big.Int).Exp(y2, p.sqrtExp, p.P)
+		check := new(big.Int).Mul(y, y)
+		check.Mod(check, p.P)
+		if check.Cmp(y2) != 0 {
+			continue // not a quadratic residue; try next counter
+		}
+		pt := p.cofactorMul(&Point{X: x, Y: y})
+		if pt.IsInfinity() {
+			continue
+		}
+		return pt
+	}
+}
+
+// hashToField expands (msg, ctr) into a field element via SHA-256 in
+// counter mode, taking enough blocks to cover the field width plus a
+// 128-bit reduction margin.
+func (p *Params) hashToField(msg []byte, ctr uint32) *big.Int {
+	need := (p.P.BitLen()+7)/8 + 16
+	var out []byte
+	var block uint32
+	for len(out) < need {
+		h := sha256.New()
+		h.Write([]byte("cicero/pairing/h2f"))
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[:4], ctr)
+		binary.BigEndian.PutUint32(hdr[4:], block)
+		h.Write(hdr[:])
+		h.Write(msg)
+		out = h.Sum(out)
+		block++
+	}
+	x := new(big.Int).SetBytes(out[:need])
+	return x.Mod(x, p.P)
+}
+
+// HashToScalar hashes arbitrary bytes to a scalar modulo r.
+func (p *Params) HashToScalar(msg []byte) *big.Int {
+	need := (p.R.BitLen()+7)/8 + 16
+	var out []byte
+	var block uint32
+	for len(out) < need {
+		h := sha256.New()
+		h.Write([]byte("cicero/pairing/h2s"))
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], block)
+		h.Write(hdr[:])
+		h.Write(msg)
+		out = h.Sum(out)
+		block++
+	}
+	x := new(big.Int).SetBytes(out[:need])
+	return x.Mod(x, p.R)
+}

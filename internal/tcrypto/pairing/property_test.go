@@ -1,0 +1,110 @@
+package pairing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over randomized scalars, complementing the deterministic
+// group-law tests in pairing_test.go.
+
+// randScalar derives a group scalar from quick's fuzz input.
+func randScalar(p *Params, raw int64) *big.Int {
+	s := new(big.Int).SetInt64(raw)
+	s.Mod(s, p.R)
+	if s.Sign() == 0 {
+		s.SetInt64(1)
+	}
+	return s
+}
+
+func TestScalarMulDistributesProperty(t *testing.T) {
+	p := Fast254()
+	f := func(a, b int64) bool {
+		sa := randScalar(p, a)
+		sb := randScalar(p, b)
+		sum := new(big.Int).Add(sa, sb)
+		left := p.ScalarBaseMul(sum)
+		right := p.Add(p.ScalarBaseMul(sa), p.ScalarBaseMul(sb))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarMulAssociatesProperty(t *testing.T) {
+	p := Fast254()
+	f := func(a, b int64) bool {
+		sa := randScalar(p, a)
+		sb := randScalar(p, b)
+		// (a·b)·G == a·(b·G)
+		prod := new(big.Int).Mul(sa, sb)
+		left := p.ScalarBaseMul(prod)
+		right := p.ScalarMul(p.ScalarBaseMul(sb), sa)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointEncodingRoundTripProperty(t *testing.T) {
+	p := Fast254()
+	f := func(raw int64) bool {
+		pt := p.ScalarBaseMul(randScalar(p, raw))
+		dec, err := p.ParsePoint(p.PointBytes(pt))
+		return err == nil && dec.Equal(pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointBytesFixedWidthProperty(t *testing.T) {
+	p := Fast254()
+	want := 1 + 2*p.coordWidth()
+	f := func(raw int64) bool {
+		pt := p.ScalarBaseMul(randScalar(p, raw))
+		return len(p.PointBytes(pt)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashToG1SubgroupProperty(t *testing.T) {
+	p := Fast254()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 25; i++ {
+		msg := make([]byte, 1+rng.Intn(64))
+		rng.Read(msg)
+		pt := p.HashToG1(msg)
+		if !p.IsOnCurve(pt) {
+			t.Fatalf("hashed point off curve for %x", msg)
+		}
+		if !p.ScalarMul(pt, p.R).IsInfinity() {
+			t.Fatalf("hashed point outside order-r subgroup for %x", msg)
+		}
+	}
+}
+
+func TestPairingBilinearProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing property test skipped in short mode")
+	}
+	p := Fast254()
+	base := p.Pair(p.G, p.G)
+	f := func(a, b int64) bool {
+		sa := randScalar(p, a)
+		sb := randScalar(p, b)
+		left := p.Pair(p.ScalarBaseMul(sa), p.ScalarBaseMul(sb))
+		right := p.GTExp(base, new(big.Int).Mul(sa, sb))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package pki provides the public key infrastructure the Cicero paper
+// assumes for event authentication: every event source (switch, controller,
+// administrator) holds an Ed25519 key pair registered in a directory, and
+// all protocol messages that are not threshold-signed travel in signed
+// envelopes bound to the sender's identity.
+package pki
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Errors returned by the package.
+var (
+	// ErrUnknownIdentity reports a signature from an unregistered source.
+	ErrUnknownIdentity = errors.New("pki: unknown identity")
+	// ErrBadSignature reports a failed signature verification.
+	ErrBadSignature = errors.New("pki: signature verification failed")
+	// ErrDuplicateIdentity reports a second registration of the same name.
+	ErrDuplicateIdentity = errors.New("pki: identity already registered")
+)
+
+// Identity names a protocol participant, e.g. "dom0/sw/tor-3" or
+// "dom1/ctl/2".
+type Identity string
+
+// KeyPair is a participant's long-term signing key.
+type KeyPair struct {
+	ID      Identity
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// NewKeyPair generates a key pair for the given identity.
+func NewKeyPair(rand io.Reader, id Identity) (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generate key for %q: %w", id, err)
+	}
+	return &KeyPair{ID: id, Public: pub, private: priv}, nil
+}
+
+// Sign signs msg with the participant's private key.
+func (k *KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.private, msg)
+}
+
+// Envelope is a signed message: the payload, the claimed sender, and the
+// sender's signature over the payload.
+type Envelope struct {
+	From      Identity
+	Payload   []byte
+	Signature []byte
+}
+
+// Seal wraps a payload in a signed envelope.
+func (k *KeyPair) Seal(payload []byte) Envelope {
+	return Envelope{From: k.ID, Payload: payload, Signature: k.Sign(payload)}
+}
+
+// Directory maps identities to public keys. It is safe for concurrent use.
+type Directory struct {
+	mu   sync.RWMutex
+	keys map[Identity]ed25519.PublicKey
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{keys: make(map[Identity]ed25519.PublicKey)}
+}
+
+// Register adds an identity's public key. Registering the same identity
+// twice is an error (keys are long-term in Cicero; rotation would go
+// through the membership protocol).
+func (d *Directory) Register(id Identity, pub ed25519.PublicKey) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.keys[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateIdentity, id)
+	}
+	d.keys[id] = append(ed25519.PublicKey(nil), pub...)
+	return nil
+}
+
+// MustRegister registers a key pair's public half, panicking on duplicates;
+// it is a setup-time convenience for simulation assembly.
+func (d *Directory) MustRegister(kp *KeyPair) {
+	if err := d.Register(kp.ID, kp.Public); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the public key for an identity.
+func (d *Directory) Lookup(id Identity) (ed25519.PublicKey, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pub, ok := d.keys[id]
+	return pub, ok
+}
+
+// Remove deletes an identity (e.g., a controller removed from the control
+// plane whose event-layer key should no longer be accepted).
+func (d *Directory) Remove(id Identity) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.keys, id)
+}
+
+// Verify checks msg's signature against the registered key for id.
+func (d *Directory) Verify(id Identity, msg, sig []byte) error {
+	pub, ok := d.Lookup(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownIdentity, id)
+	}
+	if !ed25519.Verify(pub, msg, sig) {
+		return fmt.Errorf("%w: from %q", ErrBadSignature, id)
+	}
+	return nil
+}
+
+// Open verifies a signed envelope and returns its payload.
+func (d *Directory) Open(env Envelope) ([]byte, error) {
+	if err := d.Verify(env.From, env.Payload, env.Signature); err != nil {
+		return nil, err
+	}
+	return env.Payload, nil
+}
+
+// Len returns the number of registered identities.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.keys)
+}

@@ -1,0 +1,131 @@
+package pki
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	dir := NewDirectory()
+	kp, err := NewKeyPair(rand.Reader, "dom0/sw/tor-1")
+	if err != nil {
+		t.Fatalf("NewKeyPair: %v", err)
+	}
+	dir.MustRegister(kp)
+
+	env := kp.Seal([]byte("packet-in: unroutable dst=h9"))
+	payload, err := dir.Open(env)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if string(payload) != "packet-in: unroutable dst=h9" {
+		t.Fatalf("payload corrupted: %q", payload)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	dir := NewDirectory()
+	kp, _ := NewKeyPair(rand.Reader, "dom0/ctl/1")
+	dir.MustRegister(kp)
+
+	env := kp.Seal([]byte("legitimate event"))
+	env.Payload = []byte("forged event")
+	if _, err := dir.Open(env); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("expected ErrBadSignature, got %v", err)
+	}
+}
+
+func TestOpenRejectsUnknownIdentity(t *testing.T) {
+	dir := NewDirectory()
+	kp, _ := NewKeyPair(rand.Reader, "intruder")
+	env := kp.Seal([]byte("event from nowhere"))
+	if _, err := dir.Open(env); !errors.Is(err, ErrUnknownIdentity) {
+		t.Fatalf("expected ErrUnknownIdentity, got %v", err)
+	}
+}
+
+func TestOpenRejectsMasquerade(t *testing.T) {
+	// A malicious controller masquerading as a switch (the paper's §2.2
+	// threat): it signs with its own key but claims a switch identity.
+	dir := NewDirectory()
+	sw, _ := NewKeyPair(rand.Reader, "dom0/sw/tor-1")
+	evil, _ := NewKeyPair(rand.Reader, "dom0/ctl/666")
+	dir.MustRegister(sw)
+	dir.MustRegister(evil)
+
+	env := evil.Seal([]byte("link down: s4-s5"))
+	env.From = sw.ID // claim to be the switch
+	if _, err := dir.Open(env); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("expected ErrBadSignature, got %v", err)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	dir := NewDirectory()
+	kp, _ := NewKeyPair(rand.Reader, "x")
+	if err := dir.Register(kp.ID, kp.Public); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	if err := dir.Register(kp.ID, kp.Public); !errors.Is(err, ErrDuplicateIdentity) {
+		t.Fatalf("expected ErrDuplicateIdentity, got %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := NewDirectory()
+	kp, _ := NewKeyPair(rand.Reader, "dom0/ctl/3")
+	dir.MustRegister(kp)
+	if dir.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", dir.Len())
+	}
+	dir.Remove(kp.ID)
+	env := kp.Seal([]byte("m"))
+	if _, err := dir.Open(env); !errors.Is(err, ErrUnknownIdentity) {
+		t.Fatalf("expected ErrUnknownIdentity after removal, got %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	dir := NewDirectory()
+	kp, _ := NewKeyPair(rand.Reader, "shared")
+	dir.MustRegister(kp)
+	env := kp.Seal([]byte("m"))
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				if _, err := dir.Open(env); err != nil {
+					t.Errorf("Open: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	kp, _ := NewKeyPair(rand.Reader, "bench")
+	msg := []byte("packet-in: unroutable dst=h9 src=h2 size=1500")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kp.Seal(msg)
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	dir := NewDirectory()
+	kp, _ := NewKeyPair(rand.Reader, "bench")
+	dir.MustRegister(kp)
+	env := kp.Seal([]byte("packet-in: unroutable dst=h9 src=h2 size=1500"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dir.Open(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

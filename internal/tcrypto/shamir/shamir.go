@@ -1,0 +1,184 @@
+// Package shamir implements Shamir secret sharing over an arbitrary prime
+// field, as introduced in "How to Share a Secret" (Shamir, 1979). It is the
+// algebraic foundation for the threshold signatures and distributed key
+// generation used by Cicero's control plane: a degree t−1 polynomial f with
+// f(0) = secret is evaluated at participant indices, and any t shares
+// reconstruct the secret via Lagrange interpolation while t−1 shares reveal
+// nothing.
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Share is one participant's evaluation of the sharing polynomial.
+// Index is the (non-zero) evaluation point x; Value is f(x) mod the field
+// modulus.
+type Share struct {
+	Index uint32
+	Value *big.Int
+}
+
+// Clone returns a deep copy of the share.
+func (s Share) Clone() Share {
+	return Share{Index: s.Index, Value: new(big.Int).Set(s.Value)}
+}
+
+// Polynomial is a polynomial over a prime field with coefficients in
+// ascending degree order: Coeffs[0] is the constant term (the secret).
+type Polynomial struct {
+	Modulus *big.Int
+	Coeffs  []*big.Int
+}
+
+// Errors returned by the package.
+var (
+	// ErrThreshold reports an invalid (t, n) combination.
+	ErrThreshold = errors.New("shamir: threshold must satisfy 1 <= t <= n")
+	// ErrTooFewShares reports fewer shares than the threshold requires.
+	ErrTooFewShares = errors.New("shamir: not enough shares to reconstruct")
+	// ErrDuplicateIndex reports two shares claiming the same index.
+	ErrDuplicateIndex = errors.New("shamir: duplicate share index")
+	// ErrZeroIndex reports a share with the reserved index 0.
+	ErrZeroIndex = errors.New("shamir: share index must be non-zero")
+)
+
+// NewPolynomial samples a uniformly random degree t−1 polynomial with the
+// given constant term over the field of the given modulus.
+func NewPolynomial(rand io.Reader, modulus, constant *big.Int, t int) (*Polynomial, error) {
+	if t < 1 {
+		return nil, ErrThreshold
+	}
+	coeffs := make([]*big.Int, t)
+	coeffs[0] = new(big.Int).Mod(constant, modulus)
+	for i := 1; i < t; i++ {
+		c, err := randFieldElement(rand, modulus)
+		if err != nil {
+			return nil, fmt.Errorf("shamir: sample coefficient %d: %w", i, err)
+		}
+		coeffs[i] = c
+	}
+	return &Polynomial{Modulus: new(big.Int).Set(modulus), Coeffs: coeffs}, nil
+}
+
+// Eval evaluates the polynomial at x using Horner's rule.
+func (p *Polynomial) Eval(x uint32) *big.Int {
+	bx := new(big.Int).SetUint64(uint64(x))
+	acc := new(big.Int)
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc.Mul(acc, bx)
+		acc.Add(acc, p.Coeffs[i])
+		acc.Mod(acc, p.Modulus)
+	}
+	return acc
+}
+
+// Threshold returns the number of shares required for reconstruction.
+func (p *Polynomial) Threshold() int { return len(p.Coeffs) }
+
+// ShareAt returns participant index's share of the polynomial's secret.
+func (p *Polynomial) ShareAt(index uint32) (Share, error) {
+	if index == 0 {
+		return Share{}, ErrZeroIndex
+	}
+	return Share{Index: index, Value: p.Eval(index)}, nil
+}
+
+// Split shares secret among n participants with reconstruction threshold t.
+// Participant indices are 1..n.
+func Split(rand io.Reader, modulus, secret *big.Int, t, n int) ([]Share, error) {
+	if t < 1 || t > n {
+		return nil, ErrThreshold
+	}
+	poly, err := NewPolynomial(rand, modulus, secret, t)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]Share, n)
+	for i := 1; i <= n; i++ {
+		share, err := poly.ShareAt(uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		shares[i-1] = share
+	}
+	return shares, nil
+}
+
+// Reconstruct recovers the secret from at least t shares by Lagrange
+// interpolation at zero. Extra shares beyond the first t are ignored.
+func Reconstruct(modulus *big.Int, shares []Share, t int) (*big.Int, error) {
+	if t < 1 {
+		return nil, ErrThreshold
+	}
+	if len(shares) < t {
+		return nil, ErrTooFewShares
+	}
+	subset := shares[:t]
+	indices := make([]uint32, t)
+	seen := make(map[uint32]struct{}, t)
+	for i, s := range subset {
+		if s.Index == 0 {
+			return nil, ErrZeroIndex
+		}
+		if _, dup := seen[s.Index]; dup {
+			return nil, ErrDuplicateIndex
+		}
+		seen[s.Index] = struct{}{}
+		indices[i] = s.Index
+	}
+	secret := new(big.Int)
+	for i, s := range subset {
+		lambda, err := LagrangeCoefficient(modulus, indices, i)
+		if err != nil {
+			return nil, err
+		}
+		term := new(big.Int).Mul(s.Value, lambda)
+		secret.Add(secret, term)
+		secret.Mod(secret, modulus)
+	}
+	return secret, nil
+}
+
+// LagrangeCoefficient computes λ_i = Π_{j≠i} x_j / (x_j − x_i) mod modulus,
+// the weight of share indices[i] when interpolating at zero.
+func LagrangeCoefficient(modulus *big.Int, indices []uint32, i int) (*big.Int, error) {
+	if i < 0 || i >= len(indices) {
+		return nil, fmt.Errorf("shamir: coefficient position %d out of range", i)
+	}
+	xi := new(big.Int).SetUint64(uint64(indices[i]))
+	num := big.NewInt(1)
+	den := big.NewInt(1)
+	for j, idx := range indices {
+		if j == i {
+			continue
+		}
+		xj := new(big.Int).SetUint64(uint64(idx))
+		num.Mul(num, xj)
+		num.Mod(num, modulus)
+		diff := new(big.Int).Sub(xj, xi)
+		den.Mul(den, diff)
+		den.Mod(den, modulus)
+	}
+	if den.Sign() == 0 {
+		return nil, ErrDuplicateIndex
+	}
+	den.ModInverse(den, modulus)
+	lambda := num.Mul(num, den)
+	lambda.Mod(lambda, modulus)
+	return lambda, nil
+}
+
+// randFieldElement samples a uniform element of [0, modulus).
+func randFieldElement(rand io.Reader, modulus *big.Int) (*big.Int, error) {
+	byteLen := (modulus.BitLen() + 15) / 8
+	buf := make([]byte, byteLen)
+	if _, err := io.ReadFull(rand, buf); err != nil {
+		return nil, err
+	}
+	v := new(big.Int).SetBytes(buf)
+	return v.Mod(v, modulus), nil
+}

@@ -1,0 +1,296 @@
+// Package topology models the data-plane graphs Cicero is evaluated on:
+// generic weighted graphs with deterministic shortest-path routing, the
+// Facebook data-center fabric (server pods of top-of-rack and edge
+// switches under spine planes, Fig. 10 of the paper), and a multi-data-
+// center WAN following Deutsche Telekom's backbone from the Internet
+// Topology Zoo.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind classifies a node's role in the fabric.
+type Kind int
+
+// Node kinds. Start at 1 so the zero value is invalid.
+const (
+	KindHost Kind = iota + 1
+	KindToR
+	KindEdge
+	KindSpine
+	KindCore
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindToR:
+		return "tor"
+	case KindEdge:
+		return "edge"
+	case KindSpine:
+		return "spine"
+	case KindCore:
+		return "core"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is a device in the topology.
+type Node struct {
+	ID   string
+	Kind Kind
+	// DC, Pod and Rack locate the node; -1 when not applicable.
+	DC   int
+	Pod  int
+	Rack int
+}
+
+// Edge is one direction of a link.
+type Edge struct {
+	To      string
+	Latency time.Duration
+	// GbpsCapacity is the link capacity in gigabits per second.
+	GbpsCapacity float64
+}
+
+// Graph is an undirected multigraph of nodes and links.
+type Graph struct {
+	nodes map[string]*Node
+	adj   map[string][]Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[string]*Node), adj: make(map[string][]Edge)}
+}
+
+// AddNode inserts a node; adding an existing id is a no-op.
+func (g *Graph) AddNode(n Node) {
+	if _, ok := g.nodes[n.ID]; ok {
+		return
+	}
+	copied := n
+	g.nodes[n.ID] = &copied
+}
+
+// AddLink inserts a bidirectional link between existing nodes.
+func (g *Graph) AddLink(a, b string, latency time.Duration, gbps float64) error {
+	if _, ok := g.nodes[a]; !ok {
+		return fmt.Errorf("topology: unknown node %q", a)
+	}
+	if _, ok := g.nodes[b]; !ok {
+		return fmt.Errorf("topology: unknown node %q", b)
+	}
+	g.adj[a] = append(g.adj[a], Edge{To: b, Latency: latency, GbpsCapacity: gbps})
+	g.adj[b] = append(g.adj[b], Edge{To: a, Latency: latency, GbpsCapacity: gbps})
+	return nil
+}
+
+// RemoveLink severs the link between a and b (both directions); it models
+// the hardware failures of the paper's Fig. 2 scenario.
+func (g *Graph) RemoveLink(a, b string) {
+	filter := func(list []Edge, drop string) []Edge {
+		out := list[:0]
+		for _, e := range list {
+			if e.To != drop {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	g.adj[a] = filter(g.adj[a], b)
+	g.adj[b] = filter(g.adj[b], a)
+}
+
+// Node returns a node by id.
+func (g *Graph) Node(id string) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Neighbors returns the outgoing edges of a node.
+func (g *Graph) Neighbors(id string) []Edge {
+	return g.adj[id]
+}
+
+// Nodes returns all nodes sorted by id for deterministic iteration.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodesOfKind returns all nodes of the given kind, sorted by id.
+func (g *Graph) NodesOfKind(kind Kind) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.Kind == kind {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// LinkLatency returns the latency of the direct link a->b, or ok=false.
+func (g *Graph) LinkLatency(a, b string) (time.Duration, bool) {
+	for _, e := range g.adj[a] {
+		if e.To == b {
+			return e.Latency, true
+		}
+	}
+	return 0, false
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	id   string
+	dist time.Duration
+	hops int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	if q[i].hops != q[j].hops {
+		return q[i].hops < q[j].hops
+	}
+	return q[i].id < q[j].id
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-latency path from src to dst inclusive,
+// breaking ties by hop count then lexicographic node id so routing is
+// deterministic across runs and controllers (all Cicero controllers must
+// compute identical updates for an event). It returns nil if dst is
+// unreachable.
+func (g *Graph) ShortestPath(src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	type state struct {
+		dist time.Duration
+		hops int
+		prev string
+		done bool
+	}
+	states := map[string]*state{src: {}}
+	q := &pq{{id: src}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		st := states[cur.id]
+		if st.done {
+			continue
+		}
+		st.done = true
+		if cur.id == dst {
+			break
+		}
+		edges := append([]Edge(nil), g.adj[cur.id]...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
+		for _, e := range edges {
+			nd := cur.dist + e.Latency
+			nh := cur.hops + 1
+			next, ok := states[e.To]
+			better := !ok ||
+				nd < next.dist ||
+				(nd == next.dist && nh < next.hops) ||
+				(nd == next.dist && nh == next.hops && cur.id < next.prev)
+			if ok && next.done {
+				continue
+			}
+			if better {
+				states[e.To] = &state{dist: nd, hops: nh, prev: cur.id}
+				heap.Push(q, pqItem{id: e.To, dist: nd, hops: nh})
+			}
+		}
+	}
+	end, ok := states[dst]
+	if !ok {
+		return nil
+	}
+	var path []string
+	for id := dst; ; {
+		path = append(path, id)
+		if id == src {
+			break
+		}
+		id = states[id].prev
+		_ = end
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// PathLatency sums the link latencies along a path.
+func (g *Graph) PathLatency(path []string) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		lat, ok := g.LinkLatency(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("topology: no link %s-%s", path[i], path[i+1])
+		}
+		total += lat
+	}
+	return total, nil
+}
+
+// PathMinCapacity returns the bottleneck capacity (Gbps) along a path.
+func (g *Graph) PathMinCapacity(path []string) (float64, error) {
+	minCap := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		found := false
+		for _, e := range g.adj[path[i]] {
+			if e.To == path[i+1] {
+				if minCap == 0 || e.GbpsCapacity < minCap {
+					minCap = e.GbpsCapacity
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("topology: no link %s-%s", path[i], path[i+1])
+		}
+	}
+	return minCap, nil
+}
+
+// SwitchesOnPath filters a host-to-host path down to its switches.
+func (g *Graph) SwitchesOnPath(path []string) []string {
+	var out []string
+	for _, id := range path {
+		if n, ok := g.nodes[id]; ok && n.Kind != KindHost {
+			out = append(out, id)
+		}
+	}
+	return out
+}
