@@ -4,7 +4,14 @@
 //
 //	cicero-bench -experiment fig11a [-flows 5000] [-seed 2020] [-quick] [-real-crypto]
 //	cicero-bench -experiment all
+//	cicero-bench -crypto-bench [-crypto-bench-out BENCH_crypto.json] [-quick]
 //	cicero-bench -list
+//
+// -crypto-bench measures the real wall-clock cost of the crypto fast path
+// (pairings, verification, threshold combining) and writes a
+// machine-readable JSON report; it is separate from -experiment because
+// experiment output is deterministic virtual time while these numbers
+// depend on the host machine.
 //
 // Each experiment prints the same rows/series its paper counterpart
 // reports; EXPERIMENTS.md records measured-versus-paper for all of them.
@@ -30,6 +37,9 @@ func run() int {
 		quick      = flag.Bool("quick", false, "shrink topologies and flow counts for a fast pass")
 		realCrypto = flag.Bool("real-crypto", false, "execute real BLS/Ed25519 operations (slow)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+
+		cryptoBench    = flag.Bool("crypto-bench", false, "run crypto microbenchmarks and write a JSON report")
+		cryptoBenchOut = flag.String("crypto-bench-out", "BENCH_crypto.json", "output path for -crypto-bench")
 	)
 	flag.Parse()
 
@@ -37,6 +47,26 @@ func run() int {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
 		}
+		return 0
+	}
+	if *cryptoBench {
+		report, err := experiments.RunCryptoBench(experiments.Options{Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cicero-bench: %v\n", err)
+			return 1
+		}
+		report.Render(os.Stdout)
+		out, err := os.Create(*cryptoBenchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cicero-bench: %v\n", err)
+			return 1
+		}
+		defer out.Close()
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cicero-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *cryptoBenchOut)
 		return 0
 	}
 	if *experiment == "" {

@@ -173,6 +173,12 @@ type Controller struct {
 	// and signed update is appended, enabling cross-controller audits.
 	ledger audit.Ledger
 
+	// verifyCache memoizes verified aggregates so the leader's repeated
+	// combines of the same update (per-port fan-out, retransmitted
+	// shares) skip the pairing. Real CPU only; simulated time is charged
+	// via the cost model.
+	verifyCache *bls.VerifyCache
+
 	centralSeq uint64
 	stopped    bool
 
@@ -213,6 +219,9 @@ func New(cfg Config) (*Controller, error) {
 		updateMod:       make(map[string][]openflow.FlowMod),
 		lastSeen:        make(map[pki.Identity]simnet.Time),
 		suspected:       make(map[pki.Identity]bool),
+	}
+	if cfg.Scheme != nil {
+		c.verifyCache = bls.NewVerifyCache(bls.DefaultVerifyCacheSize)
 	}
 	c.engine = scheduler.NewEngine(c.dispatchUpdate)
 	if cfg.Protocol != ProtoCentralized {
@@ -629,7 +638,7 @@ func (c *Controller) handleUpdateShare(m protocol.MsgUpdate) {
 			}
 			shares = append(shares, bls.SignatureShare{Index: idx, Point: pt})
 		}
-		combined, err := c.cfg.Scheme.CombineVerified(c.cfg.GroupKey, canonical, shares)
+		combined, err := c.cfg.Scheme.CombineVerifiedCached(c.verifyCache, c.cfg.GroupKey, canonical, shares)
 		if err != nil {
 			col.done = false // wait for more (honest) shares
 			return
@@ -774,7 +783,7 @@ func (c *Controller) handleConfigShare(m protocol.MsgConfigShare) {
 			}
 			blsShares = append(blsShares, bls.SignatureShare{Index: idx, Point: pt})
 		}
-		combined, err := c.cfg.Scheme.CombineVerified(c.cfg.GroupKey, canonical, blsShares)
+		combined, err := c.cfg.Scheme.CombineVerifiedCached(c.verifyCache, c.cfg.GroupKey, canonical, blsShares)
 		if err != nil {
 			return
 		}

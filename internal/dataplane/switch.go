@@ -95,6 +95,11 @@ type Switch struct {
 	waiters       []waiter
 	bundles       map[string]*bundleState
 
+	// verifyCache memoizes verified (message, signature) pairs so
+	// retransmitted or re-gossiped aggregates skip the pairing entirely.
+	// It affects real CPU time only; simulated time is charged via Cost.
+	verifyCache *bls.VerifyCache
+
 	// Counters for experiments.
 	EventsGenerated uint64
 	UpdatesApplied  uint64
@@ -119,6 +124,9 @@ func New(cfg Config) (*Switch, error) {
 		pendingEvents: make(map[matchKey]openflow.MsgID),
 		pending:       make(map[string]*pendingUpdate),
 		applied:       make(map[string]bool),
+	}
+	if cfg.Scheme != nil {
+		s.verifyCache = bls.NewVerifyCache(bls.DefaultVerifyCacheSize)
 	}
 	cfg.Net.Register(simnet.NodeID(cfg.ID), s)
 	return s, nil
@@ -294,7 +302,7 @@ func (s *Switch) verifyShares(id openflow.MsgID, pu *pendingUpdate) bool {
 		}
 		shares = append(shares, bls.SignatureShare{Index: idx, Point: pt})
 	}
-	_, err := s.cfg.Scheme.CombineVerified(s.cfg.GroupKey, canonical, shares)
+	_, err := s.cfg.Scheme.CombineVerifiedCached(s.verifyCache, s.cfg.GroupKey, canonical, shares)
 	return err == nil
 }
 
@@ -313,7 +321,7 @@ func (s *Switch) handleAggUpdate(m protocol.MsgAggUpdate) {
 	if s.cfg.CryptoReal {
 		canonical := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, m.Mods)
 		pt, err := s.cfg.Scheme.Params.ParsePoint(m.Signature)
-		valid = err == nil && s.cfg.Scheme.Verify(s.cfg.GroupKey.PK, canonical, bls.Signature{Point: pt})
+		valid = err == nil && s.cfg.Scheme.VerifyCached(s.verifyCache, s.cfg.GroupKey.PK, canonical, bls.Signature{Point: pt})
 	}
 	s.apply(m.UpdateID, m.Phase, m.Mods, valid)
 }
@@ -330,7 +338,7 @@ func (s *Switch) handleConfig(m protocol.MsgConfig) {
 		if s.cfg.CryptoReal && s.cfg.Scheme != nil {
 			canonical := protocol.ConfigBytes(m.Phase, m.Quorum, m.Members, m.Aggregator)
 			pt, err := s.cfg.Scheme.Params.ParsePoint(m.Signature)
-			if err != nil || !s.cfg.Scheme.Verify(s.cfg.GroupKey.PK, canonical, bls.Signature{Point: pt}) {
+			if err != nil || !s.cfg.Scheme.VerifyCached(s.verifyCache, s.cfg.GroupKey.PK, canonical, bls.Signature{Point: pt}) {
 				s.UpdatesRejected++
 				return
 			}

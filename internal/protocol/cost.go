@@ -13,7 +13,12 @@ import "time"
 //
 // Real cryptographic operations can additionally be executed (they always
 // are in the security tests); the cost model still supplies the *time*
-// so runs remain hardware-independent.
+// so runs remain hardware-independent. In particular, the crypto fast
+// path (prepared pairings, product-of-pairings verification, batched
+// share verification, verification caching — see DESIGN.md) accelerates
+// only the real CPU work; simulated latencies stay pinned to the paper's
+// PBC measurements via these constants, so making the implementation
+// faster never changes an experiment's virtual-time results.
 type CostModel struct {
 	// Ed25519Sign/Verify cover event and ack authentication.
 	Ed25519Sign   time.Duration

@@ -119,10 +119,14 @@ func (s *Simulator) Schedule(delay Time, fn func()) {
 	s.At(s.now+delay, fn)
 }
 
+// MaxTime is the latest representable virtual instant. Passing it to
+// RunUntil means "run to completion": no schedulable event can exceed it.
+const MaxTime Time = 1<<62 - 1
+
 // Run executes events until the queue is empty, returning the virtual time
 // reached. It fails with ErrEventBudget if the cap is exceeded.
 func (s *Simulator) Run() (Time, error) {
-	return s.RunUntil(1<<62 - 1)
+	return s.RunUntil(MaxTime)
 }
 
 // RunUntil executes events with timestamps <= deadline.

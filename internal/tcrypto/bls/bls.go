@@ -16,14 +16,28 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
+	"cicero/internal/metrics"
 	"cicero/internal/tcrypto/pairing"
 	"cicero/internal/tcrypto/shamir"
 )
 
 // Scheme binds the signature algorithms to a pairing parameter set.
+//
+// A Scheme also owns the verification fast-path caches (prepared pairing
+// arguments, derived share verification keys, Lagrange coefficient sets);
+// it must be shared by pointer, never copied.
 type Scheme struct {
 	Params *pairing.Params
+
+	prepGOnce sync.Once
+	prepG     *pairing.PreparedPoint
+
+	mu       sync.Mutex
+	prepKeys map[string]*pairing.PreparedPoint // group/verification keys, by encoding
+	shareVKs map[string]*pairing.Point         // Feldman-derived share VKs, by gk digest ‖ index
+	lagrange map[string][]*big.Int             // Lagrange sets, by encoded quorum indices
 }
 
 // NewScheme returns a Scheme over the given pairing parameters.
@@ -118,13 +132,20 @@ func (s *Scheme) Verify(pk PublicKey, msg []byte, sig Signature) bool {
 }
 
 // VerifyDigest checks a signature against a pre-hashed message point.
+//
+// The check is the product form e(G, σ)·e(X, −H(m)) == 1 with both fixed
+// first arguments (the generator and the public key) carrying precomputed
+// Miller-loop lines, so the whole verification costs one shared Miller
+// evaluation walk and one final exponentiation instead of two full
+// pairings.
 func (s *Scheme) VerifyDigest(pk PublicKey, hm *pairing.Point, sig Signature) bool {
 	if sig.Point.IsInfinity() || pk.Point.IsInfinity() {
 		return false
 	}
-	left := s.Params.Pair(sig.Point, s.Params.G)
-	right := s.Params.Pair(hm, pk.Point)
-	return left.Equal(right)
+	return s.Params.PairProduct(
+		pairing.ProductTerm{Prep: s.preparedG(), B: sig.Point},
+		pairing.ProductTerm{Prep: s.preparedKey(pk.Point), B: s.Params.Neg(hm)},
+	).IsOne()
 }
 
 // Deal splits a fresh group key into n shares with threshold t using a
@@ -155,18 +176,38 @@ func (s *Scheme) Deal(rand io.Reader, t, n int) (*GroupKey, []KeyShare, error) {
 }
 
 // SharePublicKey derives the verification key d_i·G for share index i from
-// the Feldman commitments: Σ_j A_j·i^j.
+// the Feldman commitments: Σ_j A_j·i^j. Derived keys are memoized per
+// (group key, index) — commitments are immutable once published, so the
+// cache key is a digest of the commitment set.
 func (s *Scheme) SharePublicKey(gk *GroupKey, index uint32) *pairing.Point {
-	acc := pairing.Infinity()
+	key := s.shareVKKey(gk, index)
+	s.mu.Lock()
+	if vk, ok := s.shareVKs[key]; ok {
+		s.mu.Unlock()
+		return vk
+	}
+	s.mu.Unlock()
 	xi := new(big.Int).SetUint64(uint64(index))
+	points := make([]*pairing.Point, len(gk.Commitments))
+	scalars := make([]*big.Int, len(gk.Commitments))
 	pow := big.NewInt(1)
-	for _, commitment := range gk.Commitments {
-		term := s.Params.ScalarMul(commitment, pow)
-		acc = s.Params.Add(acc, term)
+	for j, commitment := range gk.Commitments {
+		points[j] = commitment
+		scalars[j] = pow
 		pow = new(big.Int).Mul(pow, xi)
 		pow.Mod(pow, s.Params.R)
 	}
-	return acc
+	vk := s.Params.MultiScalarMul(points, scalars)
+	s.mu.Lock()
+	if s.shareVKs == nil {
+		s.shareVKs = make(map[string]*pairing.Point)
+	}
+	if len(s.shareVKs) >= cacheLimit {
+		s.shareVKs = make(map[string]*pairing.Point)
+	}
+	s.shareVKs[key] = vk
+	s.mu.Unlock()
+	return vk
 }
 
 // SignShare produces this controller's signature share on msg.
@@ -185,15 +226,18 @@ func (s *Scheme) VerifyShare(gk *GroupKey, msg []byte, share SignatureShare) boo
 	return s.VerifyShareDigest(gk, s.HashToPoint(msg), share)
 }
 
-// VerifyShareDigest checks a share against a pre-hashed message point.
+// VerifyShareDigest checks a share against a pre-hashed message point,
+// using the same prepared product form as VerifyDigest.
 func (s *Scheme) VerifyShareDigest(gk *GroupKey, hm *pairing.Point, share SignatureShare) bool {
 	if share.Index == 0 || share.Point.IsInfinity() {
 		return false
 	}
+	metrics.Crypto.ShareVerifies.Add(1)
 	vk := s.SharePublicKey(gk, share.Index)
-	left := s.Params.Pair(share.Point, s.Params.G)
-	right := s.Params.Pair(hm, vk)
-	return left.Equal(right)
+	return s.Params.PairProduct(
+		pairing.ProductTerm{Prep: s.preparedG(), B: share.Point},
+		pairing.ProductTerm{A: vk, B: s.Params.Neg(hm)},
+	).IsOne()
 }
 
 // Combine aggregates at least t signature shares into the group signature
@@ -207,50 +251,45 @@ func (s *Scheme) Combine(gk *GroupKey, shares []SignatureShare) (Signature, erro
 	subset := shares[:gk.T]
 	indices := make([]uint32, len(subset))
 	seen := make(map[uint32]struct{}, len(subset))
+	points := make([]*pairing.Point, len(subset))
 	for i, sh := range subset {
 		if _, dup := seen[sh.Index]; dup {
 			return Signature{}, ErrDuplicateShare
 		}
 		seen[sh.Index] = struct{}{}
 		indices[i] = sh.Index
+		points[i] = sh.Point
 	}
-	acc := pairing.Infinity()
-	for i, sh := range subset {
-		lambda, err := shamir.LagrangeCoefficient(s.Params.R, indices, i)
-		if err != nil {
-			return Signature{}, fmt.Errorf("bls: combine: %w", err)
-		}
-		acc = s.Params.Add(acc, s.Params.ScalarMul(sh.Point, lambda))
+	lambdas, err := s.lagrangeSet(indices)
+	if err != nil {
+		return Signature{}, fmt.Errorf("bls: combine: %w", err)
 	}
-	return Signature{Point: acc}, nil
+	// One interleaved multi-scalar multiplication shares the doubling
+	// chain across all t terms instead of t independent exponentiations.
+	return Signature{Point: s.Params.MultiScalarMul(points, lambdas)}, nil
 }
 
-// CombineVerified aggregates shares into a verified group signature. It
-// first combines optimistically and checks the aggregate; on failure it
-// identifies and discards invalid shares using per-share pairing checks,
-// then retries with the survivors. This mirrors the robust combine used on
-// switches/aggregators facing potentially Byzantine controllers.
+// CombineVerified aggregates shares into a verified group signature. The
+// pool is first deduplicated by index (duplicates would otherwise poison
+// the optimistic combine even when every share is honest), then combined
+// optimistically and checked against the group key — one product pairing
+// in the common all-honest case. On failure, invalid shares are identified
+// with FilterVerifiedShares (batched random-linear-combination check, then
+// per-share culprit identification) and the survivors are recombined. This
+// mirrors the robust combine used on switches/aggregators facing
+// potentially Byzantine controllers.
 func (s *Scheme) CombineVerified(gk *GroupKey, msg []byte, shares []SignatureShare) (Signature, error) {
 	hm := s.HashToPoint(msg)
-	sig, err := s.Combine(gk, shares)
+	deduped := dedupeShares(shares)
+	sig, err := s.Combine(gk, deduped)
 	if err == nil && s.VerifyDigest(gk.PK, hm, sig) {
 		return sig, nil
 	}
-	if err != nil && !errors.Is(err, ErrDuplicateShare) {
+	if err != nil {
 		return Signature{}, err
 	}
-	// Slow path: filter by per-share verification, deduplicate by index.
-	valid := make([]SignatureShare, 0, len(shares))
-	seen := make(map[uint32]struct{}, len(shares))
-	for _, sh := range shares {
-		if _, dup := seen[sh.Index]; dup {
-			continue
-		}
-		if s.VerifyShareDigest(gk, hm, sh) {
-			seen[sh.Index] = struct{}{}
-			valid = append(valid, sh)
-		}
-	}
+	// Slow path: some share in the pool is forged. Identify and drop it.
+	valid := s.FilterVerifiedShares(gk, hm, deduped)
 	if len(valid) < gk.T {
 		return Signature{}, ErrInvalidShare
 	}
@@ -262,4 +301,19 @@ func (s *Scheme) CombineVerified(gk *GroupKey, msg []byte, shares []SignatureSha
 		return Signature{}, ErrInvalidShare
 	}
 	return sig, nil
+}
+
+// dedupeShares drops shares whose index was already seen, keeping first
+// occurrences in order.
+func dedupeShares(shares []SignatureShare) []SignatureShare {
+	seen := make(map[uint32]struct{}, len(shares))
+	out := make([]SignatureShare, 0, len(shares))
+	for _, sh := range shares {
+		if _, dup := seen[sh.Index]; dup {
+			continue
+		}
+		seen[sh.Index] = struct{}{}
+		out = append(out, sh)
+	}
+	return out
 }

@@ -1,0 +1,225 @@
+package bls
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"cicero/internal/metrics"
+	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/tcrypto/shamir"
+)
+
+// Verification fast paths: prepared-pairing caches, memoized Lagrange
+// coefficient sets, random-linear-combination batch verification of
+// signature shares, and a bounded worker pool for per-share culprit
+// identification. Everything here changes only real (wall-clock) cost;
+// protocol-visible behavior — which shares are accepted, which signature
+// is produced — is bit-for-bit identical to the naive algorithms, so
+// simulated virtual time (charged via the protocol cost model) is
+// unaffected.
+
+// cacheLimit bounds each internal memoization map. Deployments see a
+// handful of group keys (one per epoch/reshare) and quorum shapes, so the
+// caps exist only to keep pathological inputs from growing memory without
+// bound; when a map fills, it is discarded and rebuilt.
+const cacheLimit = 512
+
+// preparedG returns the generator with precomputed Miller-loop lines.
+func (s *Scheme) preparedG() *pairing.PreparedPoint {
+	s.prepGOnce.Do(func() {
+		s.prepG = s.Params.Prepare(s.Params.G)
+	})
+	return s.prepG
+}
+
+// preparedKey returns pk with precomputed Miller-loop lines, memoized by
+// the point's canonical encoding. Group public keys are long-lived (they
+// change only at DKG/reshare epochs), so the preparation cost — about one
+// Miller loop — amortizes across every verification against that key.
+func (s *Scheme) preparedKey(pk *pairing.Point) *pairing.PreparedPoint {
+	key := string(s.Params.PointBytes(pk))
+	s.mu.Lock()
+	if prep, ok := s.prepKeys[key]; ok {
+		s.mu.Unlock()
+		return prep
+	}
+	s.mu.Unlock()
+	prep := s.Params.Prepare(pk)
+	s.mu.Lock()
+	if s.prepKeys == nil {
+		s.prepKeys = make(map[string]*pairing.PreparedPoint)
+	}
+	if len(s.prepKeys) >= cacheLimit {
+		s.prepKeys = make(map[string]*pairing.PreparedPoint)
+	}
+	s.prepKeys[key] = prep
+	s.mu.Unlock()
+	return prep
+}
+
+// groupKeyDigest identifies a group key by hashing its Feldman commitment
+// set. Commitments pin the whole sharing polynomial, so two group keys
+// with equal digests derive identical share verification keys.
+func (s *Scheme) groupKeyDigest(gk *GroupKey) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("cicero/bls/gk-digest/v1"))
+	for _, c := range gk.Commitments {
+		h.Write(s.Params.PointBytes(c))
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// shareVKKey is the shareVKs cache key for (group key, share index).
+func (s *Scheme) shareVKKey(gk *GroupKey, index uint32) string {
+	d := s.groupKeyDigest(gk)
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], index)
+	return string(d[:]) + string(idx[:])
+}
+
+// lagrangeSet returns the interpolation-at-zero weights for a quorum index
+// set, memoized: protocols re-form the same quorums (same controller
+// subsets) for every update, so the modular inversions are paid once per
+// distinct quorum shape.
+func (s *Scheme) lagrangeSet(indices []uint32) ([]*big.Int, error) {
+	keyBytes := make([]byte, 4*len(indices))
+	for i, idx := range indices {
+		binary.BigEndian.PutUint32(keyBytes[4*i:], idx)
+	}
+	key := string(keyBytes)
+	s.mu.Lock()
+	if set, ok := s.lagrange[key]; ok {
+		s.mu.Unlock()
+		metrics.Crypto.LagrangeCacheHits.Add(1)
+		return set, nil
+	}
+	s.mu.Unlock()
+	metrics.Crypto.LagrangeCacheMisses.Add(1)
+	set, err := shamir.LagrangeCoefficients(s.Params.R, indices)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.lagrange == nil {
+		s.lagrange = make(map[string][]*big.Int)
+	}
+	if len(s.lagrange) >= cacheLimit {
+		s.lagrange = make(map[string][]*big.Int)
+	}
+	s.lagrange[key] = set
+	s.mu.Unlock()
+	return set, nil
+}
+
+// BatchVerifySharesDigest checks a whole pool of signature shares with two
+// multi-scalar multiplications and a single product pairing, independent
+// of the pool size: for Fiat–Shamir coefficients c_i it tests
+//
+//	e(G, Σ c_i·σ_i) · e(Σ c_i·vk_i, −H(m)) == 1,
+//
+// which holds iff e(G, σ_i) == e(vk_i, H(m)) for every i, except with
+// probability ~2^{-|r|} over the coefficient choice. Coefficients are
+// derived deterministically from a transcript hash of the group key, the
+// message point, and every share — sound against adversaries who choose
+// shares first, and reproducible run-to-run so simulations stay
+// deterministic. Returns false if any share is structurally invalid
+// (index zero or infinite point).
+func (s *Scheme) BatchVerifySharesDigest(gk *GroupKey, hm *pairing.Point, shares []SignatureShare) bool {
+	if len(shares) == 0 {
+		return true
+	}
+	metrics.Crypto.BatchVerifies.Add(1)
+	transcript := sha256.New()
+	transcript.Write([]byte("cicero/bls/batch-verify/v1"))
+	d := s.groupKeyDigest(gk)
+	transcript.Write(d[:])
+	transcript.Write(s.Params.PointBytes(hm))
+	for _, sh := range shares {
+		if sh.Index == 0 || sh.Point.IsInfinity() {
+			return false
+		}
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], sh.Index)
+		transcript.Write(idx[:])
+		transcript.Write(s.Params.PointBytes(sh.Point))
+	}
+	seed := transcript.Sum(nil)
+	sigPoints := make([]*pairing.Point, len(shares))
+	vkPoints := make([]*pairing.Point, len(shares))
+	coeffs := make([]*big.Int, len(shares))
+	for i, sh := range shares {
+		var pos [4]byte
+		binary.BigEndian.PutUint32(pos[:], uint32(i))
+		coeffs[i] = s.Params.HashToScalar(append(append([]byte{}, seed...), pos[:]...))
+		sigPoints[i] = sh.Point
+		vkPoints[i] = s.SharePublicKey(gk, sh.Index)
+	}
+	aggSig := s.Params.MultiScalarMul(sigPoints, coeffs)
+	aggVK := s.Params.MultiScalarMul(vkPoints, coeffs)
+	return s.Params.PairProduct(
+		pairing.ProductTerm{Prep: s.preparedG(), B: aggSig},
+		pairing.ProductTerm{A: aggVK, B: s.Params.Neg(hm)},
+	).IsOne()
+}
+
+// FilterVerifiedShares returns the subset of shares that verify against
+// the group key for the given message point, preserving order. The happy
+// path accepts the whole pool with one batched check (O(1) pairings in the
+// pool size); only when the batch fails does it fall back to per-share
+// checks — parallelized across cores — to identify the culprits.
+func (s *Scheme) FilterVerifiedShares(gk *GroupKey, hm *pairing.Point, shares []SignatureShare) []SignatureShare {
+	if s.BatchVerifySharesDigest(gk, hm, shares) {
+		return shares
+	}
+	ok := s.verifySharesParallel(gk, hm, shares)
+	valid := make([]SignatureShare, 0, len(shares))
+	for i, sh := range shares {
+		if ok[i] {
+			valid = append(valid, sh)
+		}
+	}
+	return valid
+}
+
+// verifySharesParallel runs per-share verification on a bounded worker
+// pool and returns positional verdicts. Parallelism here spends real CPU
+// only — simulated time is charged separately by the protocol cost model,
+// so worker count cannot perturb experiment results.
+func (s *Scheme) verifySharesParallel(gk *GroupKey, hm *pairing.Point, shares []SignatureShare) []bool {
+	ok := make([]bool, len(shares))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(shares) {
+		workers = len(shares)
+	}
+	if workers <= 1 {
+		for i, sh := range shares {
+			ok[i] = s.VerifyShareDigest(gk, hm, sh)
+		}
+		return ok
+	}
+	// Derive every verification key up front: the first access per index
+	// populates the shared cache under the scheme mutex, and warming it
+	// serially keeps the workers free of lock contention.
+	for _, sh := range shares {
+		if sh.Index != 0 {
+			s.SharePublicKey(gk, sh.Index)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < len(shares); i += workers {
+				ok[i] = s.VerifyShareDigest(gk, hm, shares[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ok
+}

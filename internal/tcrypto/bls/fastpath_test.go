@@ -1,0 +1,395 @@
+package bls
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"cicero/internal/metrics"
+	"cicero/internal/tcrypto/pairing"
+)
+
+// dealShares signs msg with every key share of a fresh (t, n) deal.
+func dealShares(t *testing.T, s *Scheme, threshold, n int, msg []byte) (*GroupKey, []SignatureShare) {
+	t.Helper()
+	gk, keyShares, err := s.Deal(rand.Reader, threshold, n)
+	if err != nil {
+		t.Fatalf("Deal(%d,%d): %v", threshold, n, err)
+	}
+	sigShares := make([]SignatureShare, n)
+	for i, ks := range keyShares {
+		sigShares[i] = s.SignShare(ks, msg)
+	}
+	return gk, sigShares
+}
+
+func TestBatchVerifySharesAcceptsHonest(t *testing.T) {
+	s := testScheme()
+	msg := []byte("batch/honest")
+	gk, shares := dealShares(t, s, 3, 5, msg)
+	hm := s.HashToPoint(msg)
+	if !s.BatchVerifySharesDigest(gk, hm, shares) {
+		t.Fatal("batch verification rejected all-honest share pool")
+	}
+	if s.BatchVerifySharesDigest(gk, s.HashToPoint([]byte("other")), shares) {
+		t.Fatal("batch verification accepted shares for the wrong message")
+	}
+}
+
+// TestBatchVerifyRejectsForgedShare is the adversarial soundness test: a
+// pool containing one forged share must fail the batched check, and the
+// per-share fallback must identify exactly the culprit index.
+func TestBatchVerifyRejectsForgedShare(t *testing.T) {
+	s := testScheme()
+	msg := []byte("batch/adversarial")
+	gk, shares := dealShares(t, s, 3, 5, msg)
+	hm := s.HashToPoint(msg)
+
+	for _, forge := range []struct {
+		name   string
+		mutate func([]SignatureShare)
+	}{
+		{"wrong-message share", func(pool []SignatureShare) {
+			// Byzantine controller signs a different message under its
+			// real key share but claims it is a share for msg.
+			evil := s.Params.ScalarMul(s.HashToPoint([]byte("evil")), big3())
+			pool[2].Point = evil
+		}},
+		{"random point", func(pool []SignatureShare) {
+			k, _ := s.Params.RandomScalar(rand.Reader)
+			pool[2].Point = s.Params.ScalarBaseMul(k)
+		}},
+		{"offset by generator", func(pool []SignatureShare) {
+			pool[2].Point = s.Params.Add(pool[2].Point, s.Params.G)
+		}},
+	} {
+		pool := make([]SignatureShare, len(shares))
+		copy(pool, shares)
+		forge.mutate(pool)
+		if s.BatchVerifySharesDigest(gk, hm, pool) {
+			t.Fatalf("%s: batch verification accepted a forged share", forge.name)
+		}
+		valid := s.FilterVerifiedShares(gk, hm, pool)
+		if len(valid) != len(pool)-1 {
+			t.Fatalf("%s: expected %d surviving shares, got %d", forge.name, len(pool)-1, len(valid))
+		}
+		for _, sh := range valid {
+			if sh.Index == pool[2].Index {
+				t.Fatalf("%s: culprit index %d survived filtering", forge.name, sh.Index)
+			}
+		}
+	}
+}
+
+func TestBatchVerifyStructurallyInvalidShares(t *testing.T) {
+	s := testScheme()
+	msg := []byte("batch/structural")
+	gk, shares := dealShares(t, s, 2, 3, msg)
+	hm := s.HashToPoint(msg)
+	bad := append([]SignatureShare{}, shares...)
+	bad[0].Point = pairing.Infinity()
+	if s.BatchVerifySharesDigest(gk, hm, bad) {
+		t.Fatal("batch verification accepted an infinity share")
+	}
+	bad = append([]SignatureShare{}, shares...)
+	bad[1].Index = 0
+	if s.BatchVerifySharesDigest(gk, hm, bad) {
+		t.Fatal("batch verification accepted a zero-index share")
+	}
+	if !s.BatchVerifySharesDigest(gk, hm, nil) {
+		t.Fatal("empty pool must batch-verify trivially")
+	}
+}
+
+// TestBatchVerifyPairingCountConstant pins the O(1)-pairings property:
+// the happy-path batched check performs the same number of pairing
+// operations regardless of the pool size.
+func TestBatchVerifyPairingCountConstant(t *testing.T) {
+	msg := []byte("batch/constant")
+	pairingsFor := func(threshold, n int) uint64 {
+		s := testScheme()
+		gk, shares := dealShares(t, s, threshold, n, msg)
+		hm := s.HashToPoint(msg)
+		before := metrics.Crypto.Pairings.Load() + metrics.Crypto.PairingProducts.Load()
+		if !s.BatchVerifySharesDigest(gk, hm, shares) {
+			t.Fatalf("(t=%d, n=%d): honest pool rejected", threshold, n)
+		}
+		return metrics.Crypto.Pairings.Load() + metrics.Crypto.PairingProducts.Load() - before
+	}
+	small := pairingsFor(2, 3)
+	large := pairingsFor(7, 10)
+	if small != large {
+		t.Fatalf("pairing count grew with pool size: %d at n=3 vs %d at n=10", small, large)
+	}
+	if small == 0 {
+		t.Fatal("batched verification performed no pairing work")
+	}
+}
+
+// TestCombineVerifiedDedupesBeforeCombine asserts the duplicate-share fix:
+// a pool with harmless duplicates of honest shares must take the
+// optimistic path (no per-share verification), not the slow path.
+func TestCombineVerifiedDedupesBeforeCombine(t *testing.T) {
+	s := testScheme()
+	msg := []byte("dedupe/optimistic")
+	gk, shares := dealShares(t, s, 3, 4, msg)
+	// Retransmission-shaped pool: share 1 delivered twice.
+	pool := []SignatureShare{shares[0], shares[0], shares[1], shares[2]}
+	beforeShare := metrics.Crypto.ShareVerifies.Load()
+	beforeBatch := metrics.Crypto.BatchVerifies.Load()
+	sig, err := s.CombineVerified(gk, msg, pool)
+	if err != nil {
+		t.Fatalf("CombineVerified with duplicate share: %v", err)
+	}
+	if !s.Verify(gk.PK, msg, sig) {
+		t.Fatal("aggregate from deduplicated pool invalid")
+	}
+	if d := metrics.Crypto.ShareVerifies.Load() - beforeShare; d != 0 {
+		t.Fatalf("duplicate share forced %d per-share verifications; want 0", d)
+	}
+	if d := metrics.Crypto.BatchVerifies.Load() - beforeBatch; d != 0 {
+		t.Fatalf("duplicate share forced %d batched verifications; want 0", d)
+	}
+}
+
+func TestFilterVerifiedSharesParallelMatchesSerial(t *testing.T) {
+	s := testScheme()
+	msg := []byte("filter/parallel")
+	gk, shares := dealShares(t, s, 3, 8, msg)
+	hm := s.HashToPoint(msg)
+	pool := append([]SignatureShare{}, shares...)
+	pool[1].Point = s.Params.Add(pool[1].Point, s.Params.G)
+	pool[5].Point = s.Params.ScalarBaseMul(big3())
+	want := make(map[uint32]bool)
+	for _, sh := range pool {
+		want[sh.Index] = s.VerifyShareDigest(gk, hm, sh)
+	}
+	valid := s.FilterVerifiedShares(gk, hm, pool)
+	got := make(map[uint32]bool)
+	for _, sh := range valid {
+		got[sh.Index] = true
+	}
+	for idx, ok := range want {
+		if got[idx] != ok {
+			t.Fatalf("index %d: parallel filter verdict %v, serial %v", idx, got[idx], ok)
+		}
+	}
+}
+
+func TestVerifyCachedHitAndForgedMismatch(t *testing.T) {
+	s := testScheme()
+	sk, pk, _ := s.GenerateKey(rand.Reader)
+	msg := []byte("cache/hit")
+	sig := s.Sign(sk, msg)
+	cache := NewVerifyCache(8)
+
+	if !s.VerifyCached(cache, pk, msg, sig) {
+		t.Fatal("first verification (miss) rejected valid signature")
+	}
+	before := metrics.Crypto.PairingProducts.Load()
+	if !s.VerifyCached(cache, pk, msg, sig) {
+		t.Fatal("cached verification rejected valid signature")
+	}
+	if metrics.Crypto.PairingProducts.Load() != before {
+		t.Fatal("cache hit still performed pairing work")
+	}
+	// Uniqueness: a different signature for a cached (pk, msg) is a
+	// forgery and must be rejected without pairing work.
+	forged := Signature{Point: s.Params.Add(sig.Point, s.Params.G)}
+	if s.VerifyCached(cache, pk, msg, forged) {
+		t.Fatal("cache accepted forged signature")
+	}
+	if metrics.Crypto.PairingProducts.Load() != before {
+		t.Fatal("forged-signature rejection performed pairing work")
+	}
+}
+
+// TestVerifyCacheNeverHitsDifferentDigest asserts the cache keying: an
+// entry stored for one message must never satisfy a lookup for another.
+func TestVerifyCacheNeverHitsDifferentDigest(t *testing.T) {
+	s := testScheme()
+	sk, pk, _ := s.GenerateKey(rand.Reader)
+	cache := NewVerifyCache(64)
+	sigA := s.Sign(sk, []byte("message A"))
+	if !s.VerifyCached(cache, pk, []byte("message A"), sigA) {
+		t.Fatal("valid signature rejected")
+	}
+	for i := 0; i < 16; i++ {
+		msg := []byte(fmt.Sprintf("message B%d", i))
+		hits := metrics.Crypto.VerifyCacheHits.Load()
+		// sigA is a forgery for msg; a cache hit here would mean the
+		// lookup key ignored the message digest.
+		if s.VerifyCached(cache, pk, msg, sigA) {
+			t.Fatalf("signature for message A verified for %q", msg)
+		}
+		if metrics.Crypto.VerifyCacheHits.Load() != hits {
+			t.Fatalf("cache hit for different message digest %q", msg)
+		}
+	}
+}
+
+func TestVerifyCacheLRUEviction(t *testing.T) {
+	s := testScheme()
+	sk, pk, _ := s.GenerateKey(rand.Reader)
+	cache := NewVerifyCache(2)
+	for i := 0; i < 4; i++ {
+		msg := []byte(fmt.Sprintf("evict/%d", i))
+		if !s.VerifyCached(cache, pk, msg, s.Sign(sk, msg)) {
+			t.Fatalf("message %d rejected", i)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache length %d after eviction; want 2", cache.Len())
+	}
+	// The two oldest entries are gone: re-verifying message 0 is a miss.
+	misses := metrics.Crypto.VerifyCacheMisses.Load()
+	msg0 := []byte("evict/0")
+	if !s.VerifyCached(cache, pk, msg0, s.Sign(sk, msg0)) {
+		t.Fatal("re-verification after eviction failed")
+	}
+	if metrics.Crypto.VerifyCacheMisses.Load() == misses {
+		t.Fatal("expected a cache miss after LRU eviction")
+	}
+}
+
+func TestCombineVerifiedCached(t *testing.T) {
+	s := testScheme()
+	msg := []byte("combine/cached")
+	gk, shares := dealShares(t, s, 3, 4, msg)
+	cache := NewVerifyCache(8)
+	ref, err := s.CombineVerifiedCached(cache, gk, msg, shares[:3])
+	if err != nil {
+		t.Fatalf("CombineVerifiedCached (miss): %v", err)
+	}
+	// A hit must return the identical signature with zero pairing work,
+	// even from a different (honest) share subset.
+	before := metrics.Crypto.PairingProducts.Load() + metrics.Crypto.Pairings.Load()
+	again, err := s.CombineVerifiedCached(cache, gk, msg, shares[1:4])
+	if err != nil {
+		t.Fatalf("CombineVerifiedCached (hit): %v", err)
+	}
+	if !again.Point.Equal(ref.Point) {
+		t.Fatal("cached combine returned a different signature")
+	}
+	if metrics.Crypto.PairingProducts.Load()+metrics.Crypto.Pairings.Load() != before {
+		t.Fatal("cache hit still performed pairing work")
+	}
+	// nil cache degrades to plain CombineVerified.
+	sig, err := s.CombineVerifiedCached(nil, gk, msg, shares[:3])
+	if err != nil || !sig.Point.Equal(ref.Point) {
+		t.Fatalf("nil-cache combine: sig mismatch or err %v", err)
+	}
+}
+
+func TestSharePublicKeyCached(t *testing.T) {
+	s := testScheme()
+	gk, keyShares, err := s.Deal(rand.Reader, 3, 4)
+	if err != nil {
+		t.Fatalf("Deal: %v", err)
+	}
+	for _, ks := range keyShares {
+		first := s.SharePublicKey(gk, ks.Index)
+		second := s.SharePublicKey(gk, ks.Index)
+		if first != second { // pointer identity: second call must be the memo
+			t.Fatalf("share %d: verification key not memoized", ks.Index)
+		}
+		if !first.Equal(s.Params.ScalarBaseMul(ks.Scalar)) {
+			t.Fatalf("share %d: cached verification key wrong", ks.Index)
+		}
+	}
+}
+
+func big3() *big.Int { return big.NewInt(3) }
+
+func benchCombineT(b *testing.B, threshold int) {
+	s := testScheme()
+	msg := []byte("bench/combine")
+	gk, keyShares, err := s.Deal(rand.Reader, threshold, threshold+1)
+	if err != nil {
+		b.Fatalf("Deal: %v", err)
+	}
+	shares := make([]SignatureShare, threshold)
+	for i := 0; i < threshold; i++ {
+		shares[i] = s.SignShare(keyShares[i], msg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Combine(gk, shares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombineT2(b *testing.B) { benchCombineT(b, 2) }
+func BenchmarkCombineT4(b *testing.B) { benchCombineT(b, 4) }
+func BenchmarkCombineT7(b *testing.B) { benchCombineT(b, 7) }
+
+func BenchmarkCombineVerifiedT4(b *testing.B) {
+	s := testScheme()
+	msg := []byte("bench/combine-verified")
+	gk, keyShares, _ := s.Deal(rand.Reader, 4, 5)
+	shares := make([]SignatureShare, 4)
+	for i := 0; i < 4; i++ {
+		shares[i] = s.SignShare(keyShares[i], msg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CombineVerified(gk, msg, shares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchVerifySharesT4(b *testing.B) {
+	s := testScheme()
+	msg := []byte("bench/batch")
+	gk, keyShares, _ := s.Deal(rand.Reader, 4, 5)
+	shares := make([]SignatureShare, 4)
+	for i := 0; i < 4; i++ {
+		shares[i] = s.SignShare(keyShares[i], msg)
+	}
+	hm := s.HashToPoint(msg)
+	s.BatchVerifySharesDigest(gk, hm, shares) // warm VK cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.BatchVerifySharesDigest(gk, hm, shares) {
+			b.Fatal("batch verify failed")
+		}
+	}
+}
+
+func BenchmarkVerifyShare(b *testing.B) {
+	s := testScheme()
+	msg := []byte("bench/share")
+	gk, keyShares, _ := s.Deal(rand.Reader, 3, 4)
+	sh := s.SignShare(keyShares[0], msg)
+	hm := s.HashToPoint(msg)
+	s.VerifyShareDigest(gk, hm, sh) // warm VK cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.VerifyShareDigest(gk, hm, sh) {
+			b.Fatal("share verify failed")
+		}
+	}
+}
+
+func BenchmarkVerifyCachedHit(b *testing.B) {
+	s := testScheme()
+	sk, pk, _ := s.GenerateKey(rand.Reader)
+	msg := []byte("bench/cache-hit")
+	sig := s.Sign(sk, msg)
+	cache := NewVerifyCache(8)
+	s.VerifyCached(cache, pk, msg, sig)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.VerifyCached(cache, pk, msg, sig) {
+			b.Fatal("cached verify failed")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package bls
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"cicero/internal/metrics"
+	"cicero/internal/tcrypto/pairing"
+)
+
+// VerifyCache is a small LRU of verification results keyed by
+// (public key, message). BLS group signatures are unique — σ = x·H(m) is
+// the only point verifying under X = x·G — so once a signature for a
+// message has been verified, any later candidate for the same key and
+// message is decided by a byte comparison: equal means verified, different
+// means forged. Both directions skip the pairing entirely.
+//
+// Switches and controllers see the same (configuration, signature) pair
+// many times — retransmissions, per-port fan-out of one update, repeated
+// acks — which is what makes the cache pay for itself.
+type VerifyCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	m   map[[sha256.Size]byte]*list.Element
+}
+
+// DefaultVerifyCacheSize is the per-node entry cap used when callers pass
+// a non-positive capacity.
+const DefaultVerifyCacheSize = 256
+
+type verifyEntry struct {
+	key [sha256.Size]byte
+	sig []byte // canonical encoding of the verified signature
+}
+
+// NewVerifyCache returns an LRU holding at most capacity verified
+// signatures; capacity <= 0 selects DefaultVerifyCacheSize.
+func NewVerifyCache(capacity int) *VerifyCache {
+	if capacity <= 0 {
+		capacity = DefaultVerifyCacheSize
+	}
+	return &VerifyCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+// cacheKey binds a cache slot to the public key and the exact message.
+func (c *VerifyCache) cacheKey(scheme *Scheme, pk *pairing.Point, msg []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("cicero/bls/verify-cache/v1"))
+	h.Write(scheme.Params.PointBytes(pk))
+	h.Write(msg)
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// lookup returns the verified signature bytes for key, if present,
+// promoting the entry to most-recently-used.
+func (c *VerifyCache) lookup(key [sha256.Size]byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*verifyEntry).sig, true
+}
+
+// store records a verified signature, evicting the least-recently-used
+// entry when full.
+func (c *VerifyCache) store(key [sha256.Size]byte, sig []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*verifyEntry).sig = sig
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&verifyEntry{key: key, sig: sig})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*verifyEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *VerifyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// VerifyCached is Verify with memoization through cache. A nil cache
+// degrades to plain Verify.
+func (s *Scheme) VerifyCached(cache *VerifyCache, pk PublicKey, msg []byte, sig Signature) bool {
+	if cache == nil {
+		return s.Verify(pk, msg, sig)
+	}
+	key := cache.cacheKey(s, pk.Point, msg)
+	sigBytes := s.Params.PointBytes(sig.Point)
+	if cached, ok := cache.lookup(key); ok {
+		metrics.Crypto.VerifyCacheHits.Add(1)
+		// Uniqueness of BLS signatures: matching bytes is a proof of
+		// validity, mismatching bytes a proof of forgery.
+		return bytes.Equal(cached, sigBytes)
+	}
+	metrics.Crypto.VerifyCacheMisses.Add(1)
+	if !s.Verify(pk, msg, sig) {
+		return false
+	}
+	cache.store(key, sigBytes)
+	return true
+}
+
+// CombineVerifiedCached is CombineVerified with memoization through cache:
+// a hit returns the previously verified group signature with zero curve
+// or pairing work. A nil cache degrades to plain CombineVerified.
+func (s *Scheme) CombineVerifiedCached(cache *VerifyCache, gk *GroupKey, msg []byte, shares []SignatureShare) (Signature, error) {
+	if cache == nil {
+		return s.CombineVerified(gk, msg, shares)
+	}
+	key := cache.cacheKey(s, gk.PK.Point, msg)
+	if cached, ok := cache.lookup(key); ok {
+		if pt, err := s.Params.ParsePoint(cached); err == nil {
+			metrics.Crypto.VerifyCacheHits.Add(1)
+			return Signature{Point: pt}, nil
+		}
+	}
+	metrics.Crypto.VerifyCacheMisses.Add(1)
+	sig, err := s.CombineVerified(gk, msg, shares)
+	if err != nil {
+		return Signature{}, err
+	}
+	cache.store(key, s.Params.PointBytes(sig.Point))
+	return sig, nil
+}

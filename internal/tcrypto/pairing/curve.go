@@ -165,21 +165,20 @@ func (p *Params) chord(a, b *Point, lambda *big.Int) *Point {
 	return &Point{X: x3, Y: y3}
 }
 
-// ScalarMul returns k·pt using double-and-add. The scalar is reduced
-// modulo the group order r.
+// ScalarMul returns k·pt using inversion-free Jacobian double-and-add
+// (see jacobian.go). The scalar is reduced modulo the group order r and
+// recoded to its balanced signed representative, so scalars that are
+// small negative residues cost as little as small positive ones.
 func (p *Params) ScalarMul(pt *Point, k *big.Int) *Point {
 	kr := new(big.Int).Mod(k, p.R)
-	result := Infinity()
 	if kr.Sign() == 0 || pt.IsInfinity() {
-		return result
+		return Infinity()
 	}
-	for i := kr.BitLen() - 1; i >= 0; i-- {
-		result = p.Double(result)
-		if kr.Bit(i) == 1 {
-			result = p.Add(result, pt)
-		}
+	digits, flip := p.balancedNAF(kr)
+	if flip {
+		pt = p.Neg(pt)
 	}
-	return result
+	return p.scalarMulDigits(pt, digits)
 }
 
 // ScalarBaseMul returns k·G for the canonical generator.
@@ -190,14 +189,10 @@ func (p *Params) ScalarBaseMul(k *big.Int) *Point {
 // cofactorMul multiplies by the cofactor h to force a point of E(F_p) into
 // the order-r subgroup. Unlike ScalarMul it does not reduce modulo r.
 func (p *Params) cofactorMul(pt *Point) *Point {
-	result := Infinity()
-	for i := p.H.BitLen() - 1; i >= 0; i-- {
-		result = p.Double(result)
-		if p.H.Bit(i) == 1 {
-			result = p.Add(result, pt)
-		}
+	if pt.IsInfinity() {
+		return Infinity()
 	}
-	return result
+	return p.scalarMulJacobian(pt, p.H)
 }
 
 // RandomScalar returns a uniformly random scalar in [1, r−1].

@@ -34,18 +34,22 @@ func (p *Params) gtBytes(g *GT) []byte {
 	return out
 }
 
-// gtMul returns x·y in F_{p^2}.
+// gtMul returns x·y in F_{p^2} using Karatsuba's three-multiplication
+// form: ad + bc = (a+b)(c+d) − ac − bd. Field multiplications dominate
+// the Miller loop, so one saved mult per product is ~25% off the loop.
 func (p *Params) gtMul(x, y *GT) *GT {
 	// (a+bi)(c+di) = (ac − bd) + (ad + bc)i
 	ac := new(big.Int).Mul(x.A, y.A)
 	bd := new(big.Int).Mul(x.B, y.B)
-	ad := new(big.Int).Mul(x.A, y.B)
-	bc := new(big.Int).Mul(x.B, y.A)
+	xs := new(big.Int).Add(x.A, x.B)
+	ys := new(big.Int).Add(y.A, y.B)
+	cross := xs.Mul(xs, ys)
+	cross.Sub(cross, ac)
+	cross.Sub(cross, bd)
 	a := ac.Sub(ac, bd)
-	a.Mod(a, p.P)
-	b := ad.Add(ad, bc)
-	b.Mod(b, p.P)
-	return &GT{A: a, B: b}
+	p.modP(a)
+	p.modP(cross)
+	return &GT{A: a, B: cross}
 }
 
 // gtSquare returns x² in F_{p^2}.
@@ -54,10 +58,10 @@ func (p *Params) gtSquare(x *GT) *GT {
 	sum := new(big.Int).Add(x.A, x.B)
 	diff := new(big.Int).Sub(x.A, x.B)
 	a := sum.Mul(sum, diff)
-	a.Mod(a, p.P)
+	p.modP(a)
 	b := new(big.Int).Mul(x.A, x.B)
 	b.Lsh(b, 1)
-	b.Mod(b, p.P)
+	p.modP(b)
 	return &GT{A: a, B: b}
 }
 
@@ -74,13 +78,13 @@ func (p *Params) gtInv(x *GT) *GT {
 	norm := new(big.Int).Mul(x.A, x.A)
 	bb := new(big.Int).Mul(x.B, x.B)
 	norm.Add(norm, bb)
-	norm.Mod(norm, p.P)
+	p.modP(norm)
 	norm.ModInverse(norm, p.P)
 	a := new(big.Int).Mul(x.A, norm)
-	a.Mod(a, p.P)
+	p.modP(a)
 	b := new(big.Int).Neg(x.B)
 	b.Mul(b, norm)
-	b.Mod(b, p.P)
+	p.modP(b)
 	return &GT{A: a, B: b}
 }
 
@@ -98,6 +102,122 @@ func (p *Params) gtExp(x *GT, e *big.Int) *GT {
 		}
 	}
 	return result
+}
+
+// gtAcc is a mutable F_{p²} accumulator with preallocated scratch. The
+// pairing hot loops (PairPrepared, PairProduct, and their shared final
+// exponentiation) run thousands of field operations per call; routing
+// them through one accumulator instead of the immutable GT helpers
+// removes nearly all interior allocations. Not safe for concurrent use;
+// each pairing call creates its own.
+type gtAcc struct {
+	p              *Params
+	a, b           *big.Int // the accumulated element a + b·i
+	t1, t2, t3, t4 *big.Int // multiplication scratch
+	l              *big.Int // line-evaluation scratch
+	q              *big.Int // Barrett quotient scratch
+}
+
+func newGTAcc(p *Params) *gtAcc {
+	return &gtAcc{
+		p: p, a: big.NewInt(1), b: big.NewInt(0),
+		t1: new(big.Int), t2: new(big.Int), t3: new(big.Int), t4: new(big.Int),
+		l: new(big.Int), q: new(big.Int),
+	}
+}
+
+// reduce is modP with the accumulator's scratch quotient: no allocation.
+func (g *gtAcc) reduce(x *big.Int) {
+	p := g.p
+	if x.Sign() < 0 {
+		x.Add(x, p.twoPSquared)
+	}
+	q := g.q
+	q.Rsh(x, p.barrettLo)
+	q.Mul(q, p.barrettMu)
+	q.Rsh(q, p.barrettHi)
+	q.Mul(q, p.P)
+	x.Sub(x, q)
+	for x.Cmp(p.P) >= 0 {
+		x.Sub(x, p.P)
+	}
+}
+
+// square sets g ← g² (Karatsuba-style two-multiplication squaring).
+func (g *gtAcc) square() {
+	g.t1.Add(g.a, g.b)
+	g.t2.Sub(g.a, g.b)
+	g.t3.Mul(g.a, g.b)
+	g.a.Mul(g.t1, g.t2)
+	g.reduce(g.a)
+	g.b.Lsh(g.t3, 1)
+	g.reduce(g.b)
+}
+
+// mul sets g ← g·(la + lb·i) for reduced la, lb using three
+// multiplications.
+func (g *gtAcc) mul(la, lb *big.Int) {
+	g.t1.Mul(g.a, la) // ac
+	g.t2.Mul(g.b, lb) // bd
+	g.t3.Add(g.a, g.b)
+	g.t4.Add(la, lb)
+	g.t3.Mul(g.t3, g.t4)
+	g.t3.Sub(g.t3, g.t1) // cross = ad + bc
+	g.t3.Sub(g.t3, g.t2)
+	g.a.Sub(g.t1, g.t2)
+	g.reduce(g.a)
+	g.reduce(g.t3)
+	g.b, g.t3 = g.t3, g.b
+}
+
+// mulReal sets g ← g·la for a reduced real element (vertical lines have
+// zero imaginary part, so the full product collapses to two mults).
+func (g *gtAcc) mulReal(la *big.Int) {
+	g.t1.Mul(g.a, la)
+	g.reduce(g.t1)
+	g.a, g.t1 = g.t1, g.a
+	g.t2.Mul(g.b, la)
+	g.reduce(g.t2)
+	g.b, g.t2 = g.t2, g.b
+}
+
+// mulLine multiplies g by a cached Miller line evaluated at φ(b).
+func (g *gtAcc) mulLine(ln *line, xb, yb *big.Int) {
+	if ln.lambda == nil {
+		g.l.Neg(xb)
+		g.l.Sub(g.l, ln.x1)
+		g.reduce(g.l)
+		g.mulReal(g.l)
+		return
+	}
+	g.l.Add(xb, ln.x1)
+	g.l.Mul(g.l, ln.lambda)
+	g.l.Sub(g.l, ln.y1)
+	g.reduce(g.l)
+	g.mul(g.l, yb)
+}
+
+// finalExp applies z ↦ z^{(p²−1)/r} to the accumulator and returns the
+// result, consuming the accumulator.
+func (g *gtAcc) finalExp() *GT {
+	p := g.p
+	// z^(p−1) = conj(z)/z: one inversion, then an in-place multiply.
+	inv := p.gtInv(&GT{A: g.a, B: g.b})
+	g.b.Neg(g.b)
+	if g.b.Sign() < 0 {
+		g.b.Add(g.b, p.P)
+	}
+	g.mul(inv.A, inv.B)
+	// Raise to (p+1)/r = h by square-and-multiply.
+	ba := new(big.Int).Set(g.a)
+	bb := new(big.Int).Set(g.b)
+	for i := p.H.BitLen() - 2; i >= 0; i-- {
+		g.square()
+		if p.H.Bit(i) == 1 {
+			g.mul(ba, bb)
+		}
+	}
+	return &GT{A: g.a, B: g.b}
 }
 
 // GTExp returns g^e reduced modulo the group order; it is the scalar action

@@ -1,0 +1,257 @@
+package pairing
+
+import "math/big"
+
+// Jacobian-coordinate scalar multiplication. Affine double-and-add pays
+// one modular inversion per scalar bit (the chord/tangent slope); in
+// Jacobian projective coordinates (X, Y, Z) ~ (X/Z², Y/Z³) the whole walk
+// is inversion-free and a single inversion converts the result back to
+// affine. This is the hot path under Combine's Lagrange exponentiation,
+// share signing, batched share verification, and hashing to the curve.
+//
+// Formulas are the standard dbl-2007-bl / madd-2007-bl for
+// y² = x³ + a·x with a = 1 (this package's supersingular curve).
+
+// jacPoint is a point in Jacobian coordinates; z == 0 is infinity.
+type jacPoint struct {
+	x, y, z *big.Int
+}
+
+// jacInfinity returns the identity.
+func jacInfinity() *jacPoint {
+	return &jacPoint{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+}
+
+// fromAffine lifts an affine point to Jacobian coordinates.
+func fromAffine(pt *Point) *jacPoint {
+	return &jacPoint{x: new(big.Int).Set(pt.X), y: new(big.Int).Set(pt.Y), z: big.NewInt(1)}
+}
+
+// toAffine projects back, paying the single inversion.
+func (p *Params) toAffine(j *jacPoint) *Point {
+	if j.z.Sign() == 0 {
+		return Infinity()
+	}
+	zInv := new(big.Int).ModInverse(j.z, p.P)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	zInv2.Mod(zInv2, p.P)
+	x := new(big.Int).Mul(j.x, zInv2)
+	x.Mod(x, p.P)
+	zInv3 := zInv2.Mul(zInv2, zInv)
+	zInv3.Mod(zInv3, p.P)
+	y := new(big.Int).Mul(j.y, zInv3)
+	y.Mod(y, p.P)
+	return &Point{X: x, Y: y}
+}
+
+// jacDouble returns 2·j.
+func (p *Params) jacDouble(j *jacPoint) *jacPoint {
+	if j.z.Sign() == 0 || j.y.Sign() == 0 {
+		return jacInfinity()
+	}
+	xx := new(big.Int).Mul(j.x, j.x)
+	xx.Mod(xx, p.P)
+	yy := new(big.Int).Mul(j.y, j.y)
+	yy.Mod(yy, p.P)
+	yyyy := new(big.Int).Mul(yy, yy)
+	yyyy.Mod(yyyy, p.P)
+	zz := new(big.Int).Mul(j.z, j.z)
+	zz.Mod(zz, p.P)
+	// S = 2·((X+YY)² − XX − YYYY)
+	s := new(big.Int).Add(j.x, yy)
+	s.Mul(s, s)
+	s.Sub(s, xx)
+	s.Sub(s, yyyy)
+	s.Lsh(s, 1)
+	s.Mod(s, p.P)
+	// M = 3·XX + a·ZZ² with a = 1.
+	m := new(big.Int).Lsh(xx, 1)
+	m.Add(m, xx)
+	zz2 := new(big.Int).Mul(zz, zz)
+	m.Add(m, zz2)
+	m.Mod(m, p.P)
+	// X3 = M² − 2·S
+	x3 := new(big.Int).Mul(m, m)
+	x3.Sub(x3, s)
+	x3.Sub(x3, s)
+	x3.Mod(x3, p.P)
+	// Y3 = M·(S − X3) − 8·YYYY
+	y3 := new(big.Int).Sub(s, x3)
+	y3.Mul(y3, m)
+	y3.Sub(y3, new(big.Int).Lsh(yyyy, 3))
+	y3.Mod(y3, p.P)
+	// Z3 = (Y+Z)² − YY − ZZ = 2·Y·Z
+	z3 := new(big.Int).Add(j.y, j.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, yy)
+	z3.Sub(z3, zz)
+	z3.Mod(z3, p.P)
+	return &jacPoint{x: x3, y: y3, z: z3}
+}
+
+// jacAddAffine returns j + pt for an affine pt (mixed addition).
+func (p *Params) jacAddAffine(j *jacPoint, pt *Point) *jacPoint {
+	if j.z.Sign() == 0 {
+		return fromAffine(pt)
+	}
+	z1z1 := new(big.Int).Mul(j.z, j.z)
+	z1z1.Mod(z1z1, p.P)
+	u2 := new(big.Int).Mul(pt.X, z1z1)
+	u2.Mod(u2, p.P)
+	s2 := new(big.Int).Mul(pt.Y, j.z)
+	s2.Mul(s2, z1z1)
+	s2.Mod(s2, p.P)
+	h := new(big.Int).Sub(u2, j.x)
+	h.Mod(h, p.P)
+	r := new(big.Int).Sub(s2, j.y)
+	r.Mod(r, p.P)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return p.jacDouble(j)
+		}
+		return jacInfinity()
+	}
+	r.Lsh(r, 1)
+	r.Mod(r, p.P)
+	hh := new(big.Int).Mul(h, h)
+	hh.Mod(hh, p.P)
+	i := new(big.Int).Lsh(hh, 2)
+	i.Mod(i, p.P)
+	jj := new(big.Int).Mul(h, i)
+	jj.Mod(jj, p.P)
+	v := new(big.Int).Mul(j.x, i)
+	v.Mod(v, p.P)
+	// X3 = r² − J − 2·V
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, jj)
+	x3.Sub(x3, v)
+	x3.Sub(x3, v)
+	x3.Mod(x3, p.P)
+	// Y3 = r·(V − X3) − 2·Y1·J
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(y3, r)
+	t := new(big.Int).Mul(j.y, jj)
+	t.Lsh(t, 1)
+	y3.Sub(y3, t)
+	y3.Mod(y3, p.P)
+	// Z3 = (Z1+H)² − Z1Z1 − HH = 2·Z1·H
+	z3 := new(big.Int).Add(j.z, h)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, hh)
+	z3.Mod(z3, p.P)
+	return &jacPoint{x: x3, y: y3, z: z3}
+}
+
+// naf returns the non-adjacent form of a non-negative k, least
+// significant digit first. NAF cuts the expected non-zero digit density
+// from 1/2 to 1/3, and the negative digits cost nothing extra because
+// negating an affine point is free.
+func naf(k *big.Int) []int8 {
+	digits := make([]int8, 0, k.BitLen()+1)
+	n := new(big.Int).Set(k)
+	one := big.NewInt(1)
+	for n.Sign() > 0 {
+		if n.Bit(0) == 1 {
+			if n.Bits()[0]&3 == 1 {
+				digits = append(digits, 1)
+				n.Sub(n, one)
+			} else {
+				digits = append(digits, -1)
+				n.Add(n, one)
+			}
+		} else {
+			digits = append(digits, 0)
+		}
+		n.Rsh(n, 1)
+	}
+	return digits
+}
+
+// balancedNAF recodes a scalar already reduced to [0, r) into NAF digits
+// of its balanced representative: whichever of kr and kr−r is shorter,
+// the latter signalled by flip=true (the caller multiplies the negated
+// point instead). Scalars near r — notably Lagrange coefficients of
+// consecutive-index quorums, which are small negative integers mod r —
+// collapse from full field width to a handful of bits.
+func (p *Params) balancedNAF(kr *big.Int) (digits []int8, flip bool) {
+	neg := new(big.Int).Sub(p.R, kr)
+	if neg.BitLen() < kr.BitLen() {
+		return naf(neg), true
+	}
+	return naf(kr), false
+}
+
+// scalarMulDigits walks a signed-digit expansion over pt.
+func (p *Params) scalarMulDigits(pt *Point, digits []int8) *Point {
+	neg := p.Neg(pt)
+	acc := jacInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc = p.jacDouble(acc)
+		switch digits[i] {
+		case 1:
+			acc = p.jacAddAffine(acc, pt)
+		case -1:
+			acc = p.jacAddAffine(acc, neg)
+		}
+	}
+	return p.toAffine(acc)
+}
+
+// scalarMulJacobian computes k·pt (k non-negative, not necessarily below
+// the group order — cofactor clearing passes h) via inversion-free signed
+// double-and-add.
+func (p *Params) scalarMulJacobian(pt *Point, k *big.Int) *Point {
+	return p.scalarMulDigits(pt, naf(k))
+}
+
+// MultiScalarMul computes Σᵢ kᵢ·ptᵢ with a single shared doubling chain
+// (Straus interleaving): one doubling per scalar bit regardless of the
+// number of terms, plus sparse NAF additions per term. This is the shape
+// of threshold combining (Σ λᵢ·σᵢ) and of random-linear-combination
+// batch verification (Σ cᵢ·σᵢ, Σ cᵢ·vkᵢ). Scalars are reduced modulo r.
+func (p *Params) MultiScalarMul(points []*Point, scalars []*big.Int) *Point {
+	if len(points) != len(scalars) {
+		panic("pairing: MultiScalarMul length mismatch")
+	}
+	type term struct {
+		pt, neg *Point
+		digits  []int8
+	}
+	terms := make([]term, 0, len(points))
+	maxLen := 0
+	for i, pt := range points {
+		kr := new(big.Int).Mod(scalars[i], p.R)
+		if kr.Sign() == 0 || pt.IsInfinity() {
+			continue
+		}
+		digits, flip := p.balancedNAF(kr)
+		t := term{pt: pt, neg: p.Neg(pt), digits: digits}
+		if flip {
+			t.pt, t.neg = t.neg, t.pt
+		}
+		if len(t.digits) > maxLen {
+			maxLen = len(t.digits)
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		return Infinity()
+	}
+	acc := jacInfinity()
+	for i := maxLen - 1; i >= 0; i-- {
+		acc = p.jacDouble(acc)
+		for _, t := range terms {
+			if i >= len(t.digits) {
+				continue
+			}
+			switch t.digits[i] {
+			case 1:
+				acc = p.jacAddAffine(acc, t.pt)
+			case -1:
+				acc = p.jacAddAffine(acc, t.neg)
+			}
+		}
+	}
+	return p.toAffine(acc)
+}

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"math/big"
+
+	"cicero/internal/metrics"
 )
 
 // Pair computes the symmetric reduced Tate pairing e(a, b) ∈ GT.
@@ -17,6 +19,7 @@ func (p *Params) Pair(a, b *Point) *GT {
 	if a.IsInfinity() || b.IsInfinity() {
 		return gtOne()
 	}
+	metrics.Crypto.Pairings.Add(1)
 	f := p.miller(a, b)
 	return p.finalExp(f)
 }
@@ -41,14 +44,14 @@ func (p *Params) miller(a, b *Point) *GT {
 		re := new(big.Int).Add(xb, x1)
 		re.Mul(re, lambda)
 		re.Sub(re, y1)
-		re.Mod(re, p.P)
+		p.modP(re)
 		return &GT{A: re, B: new(big.Int).Set(yb)}
 	}
 	// verticalAt evaluates the vertical line x = x1 at φ(b).
 	verticalAt := func(x1 *big.Int) *GT {
 		re := new(big.Int).Neg(xb)
 		re.Sub(re, x1)
-		re.Mod(re, p.P)
+		p.modP(re)
 		return &GT{A: re, B: big.NewInt(0)}
 	}
 

@@ -1,0 +1,66 @@
+package shamir
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestLagrangeCoefficientsMatchSingle(t *testing.T) {
+	modulus := big.NewInt(2147483647) // 2^31 − 1, prime
+	for _, indices := range [][]uint32{
+		{1},
+		{1, 2},
+		{1, 2, 3},
+		{2, 5, 9, 11},
+		{1, 3, 7, 20, 1000},
+		{7, 2, 19, 4, 42, 13, 8},
+	} {
+		batch, err := LagrangeCoefficients(modulus, indices)
+		if err != nil {
+			t.Fatalf("indices %v: %v", indices, err)
+		}
+		for i := range indices {
+			single, err := LagrangeCoefficient(modulus, indices, i)
+			if err != nil {
+				t.Fatalf("indices %v pos %d: %v", indices, i, err)
+			}
+			if batch[i].Cmp(single) != 0 {
+				t.Fatalf("indices %v pos %d: batch %v != single %v", indices, i, batch[i], single)
+			}
+		}
+	}
+}
+
+func TestLagrangeCoefficientsErrors(t *testing.T) {
+	modulus := big.NewInt(2147483647)
+	if _, err := LagrangeCoefficients(modulus, nil); err == nil {
+		t.Fatal("empty index set accepted")
+	}
+	if _, err := LagrangeCoefficients(modulus, []uint32{3, 5, 3}); err != ErrDuplicateIndex {
+		t.Fatalf("duplicate index: got %v, want ErrDuplicateIndex", err)
+	}
+}
+
+func TestLagrangeCoefficientsReconstruct(t *testing.T) {
+	// Interpolating the shares of a known polynomial at zero with the
+	// batched weights must recover the secret.
+	modulus := big.NewInt(2147483647)
+	poly := &Polynomial{
+		Modulus: modulus,
+		Coeffs:  []*big.Int{big.NewInt(424242), big.NewInt(17), big.NewInt(99)},
+	}
+	indices := []uint32{2, 6, 11}
+	lambdas, err := LagrangeCoefficients(modulus, indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := new(big.Int)
+	for i, idx := range indices {
+		term := new(big.Int).Mul(poly.Eval(idx), lambdas[i])
+		secret.Add(secret, term)
+		secret.Mod(secret, modulus)
+	}
+	if secret.Cmp(poly.Coeffs[0]) != 0 {
+		t.Fatalf("reconstructed %v, want %v", secret, poly.Coeffs[0])
+	}
+}

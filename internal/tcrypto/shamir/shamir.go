@@ -172,6 +172,66 @@ func LagrangeCoefficient(modulus *big.Int, indices []uint32, i int) (*big.Int, e
 	return lambda, nil
 }
 
+// LagrangeCoefficients computes every interpolation-at-zero weight for
+// the given index set at once, agreeing position-for-position with
+// LagrangeCoefficient. All denominators are inverted with a single
+// modular inversion (Montgomery batch inversion): the running products
+// are accumulated forward, the total is inverted once, and individual
+// inverses are unwound backward. Threshold combining calls this on every
+// quorum, so the n-fold inversion saving is on the protocol hot path.
+func LagrangeCoefficients(modulus *big.Int, indices []uint32) ([]*big.Int, error) {
+	n := len(indices)
+	if n == 0 {
+		return nil, ErrTooFewShares
+	}
+	nums := make([]*big.Int, n)
+	dens := make([]*big.Int, n)
+	for i, idx := range indices {
+		xi := new(big.Int).SetUint64(uint64(idx))
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		for j, jdx := range indices {
+			if j == i {
+				continue
+			}
+			xj := new(big.Int).SetUint64(uint64(jdx))
+			num.Mul(num, xj)
+			num.Mod(num, modulus)
+			diff := new(big.Int).Sub(xj, xi)
+			den.Mul(den, diff)
+			den.Mod(den, modulus)
+		}
+		if den.Sign() == 0 {
+			return nil, ErrDuplicateIndex
+		}
+		nums[i] = num
+		dens[i] = den
+	}
+	// Batch inversion: running[i] = den_0·…·den_i.
+	running := make([]*big.Int, n)
+	acc := big.NewInt(1)
+	for i := 0; i < n; i++ {
+		acc = new(big.Int).Mul(acc, dens[i])
+		acc.Mod(acc, modulus)
+		running[i] = acc
+	}
+	inv := new(big.Int).ModInverse(running[n-1], modulus)
+	out := make([]*big.Int, n)
+	for i := n - 1; i >= 0; i-- {
+		denInv := inv
+		if i > 0 {
+			denInv = new(big.Int).Mul(inv, running[i-1])
+			denInv.Mod(denInv, modulus)
+			inv = new(big.Int).Mul(inv, dens[i])
+			inv.Mod(inv, modulus)
+		}
+		lambda := new(big.Int).Mul(nums[i], denInv)
+		lambda.Mod(lambda, modulus)
+		out[i] = lambda
+	}
+	return out, nil
+}
+
 // randFieldElement samples a uniform element of [0, modulus).
 func randFieldElement(rand io.Reader, modulus *big.Int) (*big.Int, error) {
 	byteLen := (modulus.BitLen() + 15) / 8
