@@ -1,0 +1,151 @@
+// Command cicero-chaos runs deterministic fault-injection campaigns
+// against the Cicero protocol and checks online invariants (consistency,
+// blackhole/loop freedom, BFT agreement, no-forged-rule). Any failing seed
+// is replayable bit-identically.
+//
+// Usage:
+//
+//	cicero-chaos -profile mixed -seeds 200            # campaign
+//	cicero-chaos -profile mixed -replay 17            # replay one seed
+//	cicero-chaos -profile byzantine -canary -seeds 10 # prove the checker
+//
+// Exit status is 1 when any invariant violation (or run error) occurred,
+// 0 otherwise — except with -canary, where catching the planted mutation
+// is the expected outcome and exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cicero/internal/chaos"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		profileName = flag.String("profile", "mixed", "links | crash | partitions | byzantine | mixed")
+		seeds       = flag.Int("seeds", 50, "number of seeds (starting at -seed)")
+		seedStart   = flag.Int64("seed", 1, "first seed")
+		flows       = flag.Int("flows", 0, "flows per seed (0 = profile default)")
+		budgetMS    = flag.Int("budget-ms", 0, "virtual-time budget per seed in ms (0 = profile default)")
+		racks       = flag.Int("racks", 0, "racks per pod (0 = profile default)")
+		controllers = flag.Int("controllers", 0, "controllers per domain (0 = profile default)")
+		workers     = flag.Int("workers", 0, "parallel seeds (0 = GOMAXPROCS)")
+		replay      = flag.Int64("replay", -1, "replay a single seed with full trace output")
+		canary      = flag.Bool("canary", false, "plant the verification-bypass mutation (the checker must catch it)")
+		verbose     = flag.Bool("v", false, "per-seed progress lines")
+	)
+	flag.Parse()
+
+	p, err := chaos.ProfileByName(*profileName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *flows > 0 {
+		p.Flows = *flows
+	}
+	if *budgetMS > 0 {
+		p.SimBudget = time.Duration(*budgetMS) * time.Millisecond
+	}
+	if *racks > 0 {
+		p.RacksPerPod = *racks
+	}
+	if *controllers > 0 {
+		p.Controllers = *controllers
+	}
+	p.CanarySkipVerify = *canary
+
+	if *replay >= 0 {
+		return replaySeed(p, *replay, *canary)
+	}
+
+	c := chaos.Campaign{
+		Profile: p,
+		Seeds:   chaos.Seeds(*seedStart, *seeds),
+		Workers: *workers,
+	}
+	if *verbose {
+		c.Progress = func(done, total int, res chaos.SeedResult) {
+			status := "ok"
+			if len(res.Violations) > 0 {
+				status = fmt.Sprintf("VIOLATIONS=%d", len(res.Violations))
+			} else if res.Err != "" {
+				status = "err=" + res.Err
+			}
+			fmt.Printf("[%d/%d] seed=%d flows=%d/%d trace=%s %s\n",
+				done, total, res.Seed, res.FlowsDone, res.FlowsTotal, res.TraceHash[:12], status)
+		}
+	}
+	start := time.Now()
+	res := c.Run()
+	fmt.Printf("%s wall=%v\n", res.Summary(), time.Since(start).Round(time.Millisecond))
+	res.Injected.Table("injected faults").Render(os.Stdout)
+	for _, sr := range res.Results {
+		for _, v := range sr.Violations {
+			fmt.Printf("  %s (replay: cicero-chaos -profile %s%s -replay %d)\n",
+				v, p.Name, canaryFlag(*canary), sr.Seed)
+		}
+	}
+	if *canary {
+		// The campaign planted a mutation; finding it means the invariant
+		// plane works.
+		if res.Violations == 0 {
+			fmt.Println("CANARY MISSED: verification bypass was not detected")
+			return 1
+		}
+		fmt.Printf("canary caught on %d seed(s)\n", len(res.FailingSeeds))
+		return 0
+	}
+	if res.Violations > 0 || len(res.ErrSeeds) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// replaySeed reruns one seed with the trace retained and prints every
+// violation with its minimal sub-trace, then the trace hash for
+// bit-identical comparison against the original campaign run.
+func replaySeed(p chaos.Profile, seed int64, canary bool) int {
+	res := chaos.RunSeed(p, seed)
+	fmt.Printf("seed=%d profile=%s flows=%d/%d applied=%d rejected=%d events=%d trace=%s\n",
+		res.Seed, res.Profile, res.FlowsDone, res.FlowsTotal,
+		res.UpdatesApplied, res.UpdatesRejected, res.SimEvents, res.TraceHash)
+	fmt.Printf("net: sent=%d delivered=%d dropped=%d (crash=%d partition=%d injected=%d)\n",
+		res.Net.Sent, res.Net.Delivered, res.Net.Dropped,
+		res.Net.DroppedCrash, res.Net.DroppedPartition, res.Net.DroppedInjected)
+	if res.Err != "" {
+		fmt.Printf("run error: %s\n", res.Err)
+	}
+	if len(res.Violations) == 0 {
+		fmt.Println("no invariant violations")
+		if canary {
+			fmt.Println("CANARY MISSED: verification bypass was not detected")
+			return 1
+		}
+		return 0
+	}
+	for i, v := range res.Violations {
+		fmt.Printf("\nviolation %d: %s\n", i+1, v)
+		for _, e := range v.Trace {
+			fmt.Printf("    %s\n", e)
+		}
+	}
+	if canary {
+		return 0
+	}
+	return 1
+}
+
+func canaryFlag(on bool) string {
+	if on {
+		return " -canary"
+	}
+	return ""
+}

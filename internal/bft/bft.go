@@ -71,6 +71,11 @@ type Digest [32]byte
 
 func digestOf(payload []byte) Digest { return sha256.Sum256(payload) }
 
+// PayloadDigest exposes the digest function so test harnesses (e.g. the
+// chaos engine's Byzantine injectors) can craft well-formed but equivocating
+// protocol messages whose digests match their forged payloads.
+func PayloadDigest(payload []byte) Digest { return digestOf(payload) }
+
 // Request asks the primary to order a payload. Replicas forward local
 // submissions to the current primary.
 type Request struct {

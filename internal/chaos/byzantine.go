@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"cicero/internal/openflow"
+	"cicero/internal/protocol"
+	"cicero/internal/simnet"
+)
+
+// scheduleByzantine draws timed forged-message injections from the
+// Byzantine controller: fabricated share quorums, forged pre-aggregated
+// updates, and bare PACKET_OUTs (the §2.2 attack). All forgeries carry
+// unique "byz/forge" update ids and garbage signatures — real
+// verification must reject every one; with the canary (verification
+// bypassed) they apply and the no-forged-rule invariant must fire.
+func (r *run) scheduleByzantine() {
+	if r.byz == "" {
+		return
+	}
+	n := r.net
+	quorum := r.net.Domains[0].Controllers[0].Quorum()
+	const injections = 6
+	for i := 0; i < injections; i++ {
+		at := 10*time.Millisecond + time.Duration(r.rng.Int63n(int64(r.p.FlowWindow)))
+		sw := r.switches[r.rng.Intn(len(r.switches))]
+		dst := r.hosts[r.rng.Intn(len(r.hosts))]
+		kind := r.rng.Intn(3)
+		seq := uint64(i + 1)
+		sig := garbageBytes(r, 33)
+		shareSigs := make([][]byte, quorum)
+		for j := range shareSigs {
+			shareSigs[j] = garbageBytes(r, 33)
+		}
+		n.Sim.At(at, func() {
+			id := openflow.MsgID{Origin: "byz/forge", Seq: seq}
+			mods := []openflow.FlowMod{{
+				Op:     openflow.FlowAdd,
+				Switch: sw,
+				Rule: openflow.Rule{
+					Priority: 50,
+					Match:    openflow.Match{Src: openflow.Wildcard, Dst: dst},
+					Action:   openflow.Action{Type: openflow.ActionOutput, NextHop: "byz/blackhole"},
+				},
+			}}
+			switch kind {
+			case 0:
+				// A full fabricated share quorum: the switch reaches its
+				// share count and must fail aggregate verification.
+				for j := 0; j < quorum; j++ {
+					msg := protocol.MsgUpdate{
+						UpdateID:   id,
+						Mods:       mods,
+						Phase:      1,
+						From:       "byz",
+						ShareIndex: uint32(j + 1),
+						Share:      shareSigs[j],
+					}
+					n.Net.Send(r.byz, simnet.NodeID(sw), msg, 512)
+				}
+				r.counter.Add("byz-forge-shares", 1)
+				r.tr.Add(n.Sim.Now(), "byz-forge-shares", fmt.Sprintf("->%s %s dst=%s", sw, id, dst))
+			case 1:
+				// A forged pre-aggregated update.
+				msg := protocol.MsgAggUpdate{UpdateID: id, Mods: mods, Phase: 1, Signature: sig}
+				n.Net.Send(r.byz, simnet.NodeID(sw), msg, 512)
+				r.counter.Add("byz-forge-agg", 1)
+				r.tr.Add(n.Sim.Now(), "byz-forge-agg", fmt.Sprintf("->%s %s dst=%s", sw, id, dst))
+			default:
+				// A bare PACKET_OUT: switches must drop it outright.
+				msg := openflow.PacketOut{Switch: sw, Src: probeSrc, Dst: dst}
+				n.Net.Send(r.byz, simnet.NodeID(sw), msg, 256)
+				r.counter.Add("byz-packet-out", 1)
+				r.tr.Add(n.Sim.Now(), "byz-packet-out", fmt.Sprintf("->%s dst=%s", sw, dst))
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// fastProfile shrinks a profile for unit-test latency.
+func fastProfile(p Profile) Profile {
+	p.Flows = 8
+	return p
+}
+
+func TestDeterministicTraceHash(t *testing.T) {
+	p := fastProfile(MixedProfile())
+	a := RunSeed(p, 7)
+	b := RunSeed(p, 7)
+	if a.Err != "" || b.Err != "" {
+		t.Fatalf("run errors: %q %q", a.Err, b.Err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("same seed, different trace hash:\n  %s\n  %s", a.TraceHash, b.TraceHash)
+	}
+	if a.Trace.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	// Different seeds must explore different schedules.
+	c := RunSeed(p, 8)
+	if c.TraceHash == a.TraceHash {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestMixedCampaignNoViolations(t *testing.T) {
+	res := Campaign{Profile: fastProfile(MixedProfile()), Seeds: Seeds(1, 15)}.Run()
+	if res.Violations != 0 {
+		for _, sr := range res.Results {
+			for _, v := range sr.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		}
+		t.Fatalf("mixed campaign reported %d violations (seeds %v)", res.Violations, res.FailingSeeds)
+	}
+	if res.FlowsDone == 0 {
+		t.Fatal("no flow ever completed; campaign exercised nothing")
+	}
+	if res.Injected.Total() == 0 {
+		t.Fatal("no fault was ever injected; campaign exercised nothing")
+	}
+}
+
+func TestCanaryCaughtByNoForgedRule(t *testing.T) {
+	p := fastProfile(ByzantineProfile())
+	p.CanarySkipVerify = true
+	caught := false
+	for _, seed := range Seeds(1, 5) {
+		res := RunSeed(p, seed)
+		for _, v := range res.Violations {
+			if v.Invariant == InvNoForgedRule {
+				caught = true
+				if len(v.Trace) == 0 {
+					t.Errorf("violation without a related trace: %s", v)
+				}
+			}
+		}
+		if caught {
+			break
+		}
+	}
+	if !caught {
+		t.Fatal("canary (verification bypass) was never caught by the no-forged-rule invariant")
+	}
+}
+
+func TestByzantineRejectedWithoutCanary(t *testing.T) {
+	p := fastProfile(ByzantineProfile())
+	var rejected uint64
+	for _, seed := range Seeds(1, 3) {
+		res := RunSeed(p, seed)
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: unexpected violations: %v", seed, res.Violations)
+		}
+		rejected += res.UpdatesRejected
+	}
+	if rejected == 0 {
+		t.Fatal("no forged update was ever rejected; Byzantine injection exercised nothing")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"links", "crash", "partitions", "byzantine", "mixed"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %q has Name %q", name, p.Name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

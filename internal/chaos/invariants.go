@@ -1,0 +1,254 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"cicero/internal/audit"
+	"cicero/internal/controlplane"
+	"cicero/internal/openflow"
+	"cicero/internal/simnet"
+)
+
+// Violation is one invariant breach with the minimal related sub-trace.
+type Violation struct {
+	Seed      int64
+	T         simnet.Time
+	Invariant string
+	Detail    string
+	Trace     []TraceEvent
+}
+
+// String renders a violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("seed=%d t=%v %s: %s", v.Seed, v.T, v.Invariant, v.Detail)
+}
+
+// Invariant names.
+const (
+	// InvNoForgedRule: every update a switch applies as valid was
+	// committed (ledgered) by at least one honest controller before any
+	// share for it could have been sent — threshold-signature safety.
+	InvNoForgedRule = "no-forged-rule"
+	// InvBlackholeFreedom: following any installed output rule hop by hop
+	// never reaches a switch with no matching rule or an unknown node.
+	InvBlackholeFreedom = "blackhole-freedom"
+	// InvLoopFreedom: no forwarding walk revisits a switch.
+	InvLoopFreedom = "loop-freedom"
+	// InvPathConsistency: a forwarding walk for destination d that reaches
+	// a host reaches exactly d.
+	InvPathConsistency = "path-consistency"
+	// InvBFTAgreement: honest controllers of a domain deliver the same
+	// events in the same order (total-order safety of the atomic
+	// broadcast), observed through their hash-chained audit ledgers.
+	InvBFTAgreement = "bft-agreement"
+)
+
+// checker evaluates the invariant plane. All its entry points run
+// synchronously on the simulator loop.
+type checker struct {
+	r *run
+
+	// legit holds SHA-256 of every canonical update byte-string ledgered
+	// by an honest controller; ledgerPos tracks the incremental scan.
+	legit     map[[32]byte]bool
+	ledgerPos map[simnet.NodeID]int
+
+	// seen dedups violations so a persistent bad state reports once.
+	seen       map[string]bool
+	violations []Violation
+
+	hosts map[string]bool
+}
+
+func newChecker(r *run) *checker {
+	ck := &checker{
+		r:         r,
+		legit:     make(map[[32]byte]bool),
+		ledgerPos: make(map[simnet.NodeID]int),
+		seen:      make(map[string]bool),
+		hosts:     make(map[string]bool, len(r.hosts)),
+	}
+	for _, h := range r.hosts {
+		ck.hosts[h] = true
+	}
+	return ck
+}
+
+// honestControllers returns the domain's controllers excluding the
+// designated Byzantine one (its ledger proves nothing and its lies must
+// not vouch for forged updates).
+func (ck *checker) honestControllers() []*controlplane.Controller {
+	dom := ck.r.net.Domains[0]
+	out := make([]*controlplane.Controller, 0, len(dom.Controllers))
+	for _, c := range dom.Controllers {
+		if simnet.NodeID(c.ID()) == ck.r.byz {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// report records a deduplicated violation with its related sub-trace.
+func (ck *checker) report(invariant, dedupKey, detail, traceToken string) {
+	key := invariant + "|" + dedupKey
+	if ck.seen[key] {
+		return
+	}
+	ck.seen[key] = true
+	now := ck.r.net.Sim.Now()
+	ck.r.tr.Add(now, "violation", invariant+": "+detail)
+	ck.violations = append(ck.violations, Violation{
+		Seed:      ck.r.seed,
+		T:         now,
+		Invariant: invariant,
+		Detail:    detail,
+		Trace:     ck.r.tr.Related(traceToken, 12),
+	})
+}
+
+// onApply observes every switch apply decision (wired through the
+// dataplane ApplyHook). Soundness of the forged-rule check: in threshold
+// mode an update applies only after quorum-many distinct share indices,
+// of which at most f belong to Byzantine controllers, and every honest
+// controller appends the update to its ledger before sending its share —
+// so by apply time the canonical bytes must already be in some honest
+// ledger. A valid apply whose bytes no honest controller ever committed is
+// a forged installation.
+func (ck *checker) onApply(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool) {
+	now := ck.r.net.Sim.Now()
+	ck.r.tr.Add(now, "apply", fmt.Sprintf("sw=%s update=%s phase=%d mods=%d valid=%v", sw, id, phase, len(mods), valid))
+	if !valid {
+		return // a rejected update is the protocol working
+	}
+	ck.refreshLegit()
+	digest := sha256.Sum256(openflow.CanonicalUpdateBytes(id, phase, mods))
+	if !ck.legit[digest] {
+		ck.report(InvNoForgedRule, fmt.Sprintf("%s|%s", sw, id),
+			fmt.Sprintf("switch %s applied update %s (phase %d) that no honest controller committed", sw, id, phase),
+			id.String())
+	}
+}
+
+// refreshLegit ingests newly ledgered updates from honest controllers.
+func (ck *checker) refreshLegit() {
+	for _, c := range ck.honestControllers() {
+		recs := c.AuditRecords()
+		id := simnet.NodeID(c.ID())
+		for _, rec := range recs[ck.ledgerPos[id]:] {
+			if rec.Kind == audit.KindUpdate {
+				ck.legit[sha256.Sum256(rec.Canonical)] = true
+			}
+		}
+		ck.ledgerPos[id] = len(recs)
+	}
+}
+
+// probeSrc is the concrete source used to walk wildcard-source rules.
+const probeSrc = "chaos-probe"
+
+// checkDataPlane walks every installed output rule to its destination:
+// each hop must find a covering rule (blackhole freedom), never revisit a
+// switch (loop freedom), and terminate at exactly the rule's destination
+// (path consistency). Under reverse-path scheduling these hold at every
+// instant, not just at quiescence: a rule is installed only after its
+// downstream suffix acked.
+func (ck *checker) checkDataPlane() {
+	r := ck.r
+	for _, swID := range r.switches {
+		for _, rule := range r.net.Switches[swID].Table().Rules() {
+			if rule.Action.Type != openflow.ActionOutput {
+				continue
+			}
+			dst := rule.Match.Dst
+			if dst == openflow.Wildcard {
+				continue
+			}
+			src := rule.Match.Src
+			if src == openflow.Wildcard {
+				src = probeSrc
+			}
+			ck.walk(swID, src, dst)
+		}
+	}
+}
+
+// walk follows the forwarding chain for (src, dst) starting at sw.
+func (ck *checker) walk(sw, src, dst string) {
+	visited := map[string]bool{}
+	cur := sw
+	for {
+		if visited[cur] {
+			ck.report(InvLoopFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+				fmt.Sprintf("forwarding loop for dst %s revisits %s (entered at %s)", dst, cur, sw), dst)
+			return
+		}
+		visited[cur] = true
+		node := ck.r.net.Switches[cur]
+		if node == nil {
+			ck.report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+				fmt.Sprintf("rule chain for dst %s forwards to unknown node %s (entered at %s)", dst, cur, sw), dst)
+			return
+		}
+		rule, ok := node.Lookup(src, dst)
+		if !ok {
+			ck.report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+				fmt.Sprintf("blackhole: %s has no rule for dst %s (chain entered at %s)", cur, dst, sw), dst)
+			return
+		}
+		if rule.Action.Type == openflow.ActionDrop {
+			return // an explicit drop is policy, not a blackhole
+		}
+		next := rule.Action.NextHop
+		if ck.hosts[next] {
+			if next != dst {
+				ck.report(InvPathConsistency, fmt.Sprintf("%s|%s|%s", sw, next, dst),
+					fmt.Sprintf("packet for %s delivered to %s (chain entered at %s)", dst, next, sw), dst)
+			}
+			return
+		}
+		cur = next
+	}
+}
+
+// checkAgreement compares honest controllers' event ledgers pairwise: the
+// shorter must be a prefix of the longer (same events, same order). Only
+// KindEvent records participate: they are appended in atomic-broadcast
+// delivery order, which the protocol totally orders; KindUpdate records
+// interleave with ack arrival and legitimately differ across controllers.
+func (ck *checker) checkAgreement() {
+	honest := ck.honestControllers()
+	type entry struct {
+		subject string
+		digest  [32]byte
+	}
+	ledgers := make([][]entry, len(honest))
+	for i, c := range honest {
+		for _, rec := range c.AuditRecords() {
+			if rec.Kind != audit.KindEvent {
+				continue
+			}
+			ledgers[i] = append(ledgers[i], entry{rec.Subject, sha256.Sum256(rec.Canonical)})
+		}
+	}
+	for i := 0; i < len(honest); i++ {
+		for j := i + 1; j < len(honest); j++ {
+			a, b := ledgers[i], ledgers[j]
+			m := len(a)
+			if len(b) < m {
+				m = len(b)
+			}
+			for k := 0; k < m; k++ {
+				if a[k] != b[k] {
+					ck.report(InvBFTAgreement,
+						fmt.Sprintf("%s|%s|%d", honest[i].ID(), honest[j].ID(), k),
+						fmt.Sprintf("controllers %s and %s diverge at delivery %d: %s vs %s",
+							honest[i].ID(), honest[j].ID(), k, a[k].subject, b[k].subject),
+						a[k].subject)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"strings"
+
+	"cicero/internal/simnet"
+)
+
+// TraceEvent is one entry in a run's event trace: a flow milestone, a
+// fault injection, an update apply, or a violation.
+type TraceEvent struct {
+	T      simnet.Time
+	Kind   string
+	Detail string
+}
+
+// String renders one entry for replay output.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%12v  %-14s %s", e.T, e.Kind, e.Detail)
+}
+
+// Trace accumulates a run's events and an incremental hash over all of
+// them. The hash covers every Add ever made — including entries evicted
+// from the in-memory ring — so two runs with the same seed must produce
+// byte-identical event streams to hash equal. Entries must therefore never
+// contain run-varying data (wall time, signature bytes, map order).
+type Trace struct {
+	h      hash.Hash
+	total  int
+	events []TraceEvent
+	cap    int
+}
+
+// defaultTraceCap bounds retained entries; the hash still covers all.
+const defaultTraceCap = 200_000
+
+// NewTrace returns an empty trace retaining at most capEvents entries
+// (<= 0 selects the default).
+func NewTrace(capEvents int) *Trace {
+	if capEvents <= 0 {
+		capEvents = defaultTraceCap
+	}
+	return &Trace{h: sha256.New(), cap: capEvents}
+}
+
+// Add appends an entry, folding it into the running hash.
+func (tr *Trace) Add(t simnet.Time, kind, detail string) {
+	fmt.Fprintf(tr.h, "%d|%s|%s\n", int64(t), kind, detail)
+	tr.total++
+	if len(tr.events) < tr.cap {
+		tr.events = append(tr.events, TraceEvent{T: t, Kind: kind, Detail: detail})
+	}
+}
+
+// Len returns the number of entries added (including any not retained).
+func (tr *Trace) Len() int { return tr.total }
+
+// Hash returns the hex digest over every entry added so far. It does not
+// reset the running state, so it can be sampled mid-run.
+func (tr *Trace) Hash() string {
+	return hex.EncodeToString(tr.h.Sum(nil))
+}
+
+// Events returns the retained entries.
+func (tr *Trace) Events() []TraceEvent { return tr.events }
+
+// Related returns up to max retained entries whose kind or detail contains
+// token — the minimal sub-trace reported with a violation.
+func (tr *Trace) Related(token string, max int) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range tr.events {
+		if strings.Contains(e.Detail, token) || strings.Contains(e.Kind, token) {
+			out = append(out, e)
+		}
+	}
+	if len(out) > max {
+		// Keep the earliest and the most recent context around the token.
+		head := out[:max/2]
+		tail := out[len(out)-(max-len(head)):]
+		out = append(append([]TraceEvent(nil), head...), tail...)
+	}
+	return out
+}

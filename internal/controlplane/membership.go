@@ -3,6 +3,7 @@ package controlplane
 import (
 	"crypto/rand"
 	"fmt"
+	"sort"
 
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
@@ -308,8 +309,15 @@ func (c *Controller) completeChange(newShare bls.KeyShare, newGK *bls.GroupKey) 
 	// Resubmit our undelivered submissions and the queued events in the
 	// new phase; delivery-level dedup collapses duplicates.
 	if c.replica != nil {
-		for _, payload := range c.pendingSubmit {
-			c.replica.Submit(payload)
+		// Sorted for deterministic resubmission order (map iteration would
+		// otherwise vary run to run and break bit-identical replays).
+		keys := make([]string, 0, len(c.pendingSubmit))
+		for k := range c.pendingSubmit {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c.replica.Submit(c.pendingSubmit[k])
 		}
 		for _, ev := range st.queued {
 			ev := ev

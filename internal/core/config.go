@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cicero/internal/controlplane"
+	"cicero/internal/openflow"
 	"cicero/internal/protocol"
 	"cicero/internal/routing"
 	"cicero/internal/scheduler"
@@ -74,6 +75,10 @@ type Config struct {
 	ViewChangeTimeout time.Duration
 	// FailureDetector enables heartbeats when non-nil.
 	FailureDetector *controlplane.FailureDetectorConfig
+
+	// SwitchApplyHook, when set, is installed on every switch and observes
+	// each update apply decision (used by the chaos invariant checkers).
+	SwitchApplyHook func(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool)
 }
 
 // Defaulted returns the config with defaults applied.

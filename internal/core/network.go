@@ -198,6 +198,7 @@ func Build(cfg Config) (*Network, error) {
 				Directory:   n.Directory,
 				Controllers: d.Members,
 				CryptoReal:  cfg.CryptoReal,
+				ApplyHook:   cfg.SwitchApplyHook,
 			}
 			if cfg.Protocol == controlplane.ProtoCicero {
 				swCfg.Scheme = n.Scheme

@@ -8,6 +8,7 @@ package dataplane
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cicero/internal/openflow"
@@ -61,6 +62,11 @@ type Config struct {
 	// the cost model's time is charged; quorum counting and dedup still
 	// run, so protocol structure is identical.
 	CryptoReal bool
+
+	// ApplyHook, when set, observes every update apply decision (the chaos
+	// engine's invariant checkers attach here). It runs synchronously on
+	// the simulator loop after the flow table has been updated.
+	ApplyHook func(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool)
 }
 
 // matchKey dedups pending events per flow endpoints.
@@ -99,6 +105,11 @@ type Switch struct {
 	// retransmitted or re-gossiped aggregates skip the pairing entirely.
 	// It affects real CPU time only; simulated time is charged via Cost.
 	verifyCache *bls.VerifyCache
+
+	// verifyBypass disables update signature verification. It exists ONLY
+	// as the chaos engine's canary mutation: a deliberately broken switch
+	// that the no-forged-rule invariant must catch.
+	verifyBypass bool
 
 	// Counters for experiments.
 	EventsGenerated uint64
@@ -150,6 +161,12 @@ func (s *Switch) SetGroupKey(gk *bls.GroupKey, quorum int) {
 	s.cfg.GroupKey = gk
 	s.cfg.Quorum = quorum
 }
+
+// SetVerifyBypass toggles the canary mutation: with bypass on, the switch
+// applies threshold and aggregated updates without checking signatures —
+// the exact vulnerability Cicero exists to prevent. Chaos campaigns enable
+// it to prove the no-forged-rule invariant has teeth.
+func (s *Switch) SetVerifyBypass(on bool) { s.verifyBypass = on }
 
 // Lookup consults the flow table.
 func (s *Switch) Lookup(src, dst string) (openflow.Rule, bool) {
@@ -277,7 +294,7 @@ func (s *Switch) handleUpdate(m protocol.MsgUpdate) {
 		// pending: later honest shares can still complete it.
 		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID),
 			time.Duration(s.cfg.Quorum)*s.cfg.Cost.BLSAggregatePerShare+s.cfg.Cost.BLSVerifyAggregate)
-		if s.cfg.CryptoReal && !s.verifyShares(m.UpdateID, pu) {
+		if s.cfg.CryptoReal && !s.verifyBypass && !s.verifyShares(m.UpdateID, pu) {
 			s.UpdatesRejected++
 			return
 		}
@@ -318,7 +335,7 @@ func (s *Switch) handleAggUpdate(m protocol.MsgAggUpdate) {
 	}
 	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.BLSVerifyAggregate)
 	valid := true
-	if s.cfg.CryptoReal {
+	if s.cfg.CryptoReal && !s.verifyBypass {
 		canonical := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, m.Mods)
 		pt, err := s.cfg.Scheme.Params.ParsePoint(m.Signature)
 		valid = err == nil && s.cfg.Scheme.VerifyCached(s.verifyCache, s.cfg.GroupKey.PK, canonical, bls.Signature{Point: pt})
@@ -369,7 +386,17 @@ func (s *Switch) handleConfig(m protocol.MsgConfig) {
 	// aggregator was replaced), and controllers deduplicate by event id.
 	pending := s.pendingEvents
 	s.pendingEvents = make(map[matchKey]openflow.MsgID, len(pending))
+	keys := make([]matchKey, 0, len(pending))
 	for key := range pending {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	for _, key := range keys {
 		s.eventSeq++
 		ev := protocol.Event{
 			ID:   openflow.MsgID{Origin: s.cfg.ID, Seq: s.eventSeq},
@@ -404,6 +431,9 @@ func (s *Switch) apply(id openflow.MsgID, phase uint64, mods []openflow.FlowMod,
 	s.applied[key] = true
 	if !valid {
 		s.UpdatesRejected++
+		if s.cfg.ApplyHook != nil {
+			s.cfg.ApplyHook(s.cfg.ID, id, phase, mods, false)
+		}
 		s.sendAck(id, false)
 		return
 	}
@@ -414,6 +444,9 @@ func (s *Switch) apply(id openflow.MsgID, phase uint64, mods []openflow.FlowMod,
 		if mod.Op == openflow.FlowAdd {
 			s.wakeWaiters(mod.Rule)
 		}
+	}
+	if s.cfg.ApplyHook != nil {
+		s.cfg.ApplyHook(s.cfg.ID, id, phase, mods, true)
 	}
 	s.sendAck(id, true)
 }

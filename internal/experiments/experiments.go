@@ -87,6 +87,7 @@ func Registry() map[string]Runner {
 		"table1":    Table1,
 		"table2":    Table2,
 		"ablations": Ablations,
+		"chaos":     ChaosCampaign,
 	}
 }
 

@@ -8,6 +8,29 @@ import (
 // LatencyFunc returns the one-way propagation latency between two nodes.
 type LatencyFunc func(from, to NodeID) time.Duration
 
+// FaultAction tells the network what to do with one in-flight message. The
+// zero value means "deliver normally". Fields compose: a message can be
+// replaced, delayed, and duplicated in one action; Drop wins over the rest.
+type FaultAction struct {
+	// Drop discards the message (counted as an injected drop).
+	Drop bool
+	// Delay adds extra latency on top of the link's own delay.
+	Delay time.Duration
+	// Duplicates injects this many extra copies of the message, each with
+	// independently computed link delay (so copies may reorder).
+	Duplicates int
+	// Replace, when non-nil, substitutes the delivered payload (corruption
+	// and Byzantine mutation). The original msg is left untouched; filters
+	// must deep-copy before mutating shared structures.
+	Replace Message
+}
+
+// Filter inspects every message that passed the crash/partition checks and
+// decides its fate. It runs synchronously on the simulator loop, so any
+// randomness it uses must come from a deterministic source for runs to stay
+// reproducible. A nil filter delivers everything normally.
+type Filter func(from, to NodeID, msg Message, size int) FaultAction
+
 // Network delivers messages between registered nodes over the simulator,
 // imposing latency, serialization delay, jitter, crash faults, and
 // partitions, and accounting per-node CPU usage.
@@ -27,13 +50,23 @@ type Network struct {
 	// JitterFrac adds uniform random jitter in [0, JitterFrac·latency).
 	JitterFrac float64
 
+	// partitioned is directional: partitioned[from][to] blocks messages
+	// from -> to only. Partition sets both directions; PartitionOneWay one.
 	partitioned map[NodeID]map[NodeID]bool
 
+	// filter, when set, adjudicates every message after the crash and
+	// partition checks (the chaos fault plane hooks in here).
+	filter Filter
+
 	// Stats
-	sent      uint64
-	delivered uint64
-	dropped   uint64
-	bytes     uint64
+	sent             uint64
+	delivered        uint64
+	dropped          uint64
+	bytes            uint64
+	droppedCrash     uint64
+	droppedPartition uint64
+	droppedUnknown   uint64
+	droppedInjected  uint64
 }
 
 // node is the per-node bookkeeping.
@@ -107,6 +140,47 @@ func (n *Network) Heal(a, b NodeID) {
 	delete(n.partitioned[b], a)
 }
 
+// PartitionOneWay severs only the from -> to direction: from's messages to
+// to are dropped while to can still reach from (asymmetric partition).
+func (n *Network) PartitionOneWay(from, to NodeID) {
+	if n.partitioned[from] == nil {
+		n.partitioned[from] = make(map[NodeID]bool)
+	}
+	n.partitioned[from][to] = true
+}
+
+// HealOneWay restores only the from -> to direction.
+func (n *Network) HealOneWay(from, to NodeID) {
+	delete(n.partitioned[from], to)
+}
+
+// PartitionSet severs every link between a node in groupA and a node in
+// groupB, in both directions. Links within a group are untouched.
+func (n *Network) PartitionSet(groupA, groupB []NodeID) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n.Partition(a, b)
+		}
+	}
+}
+
+// HealSet restores every link between the two groups.
+func (n *Network) HealSet(groupA, groupB []NodeID) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n.Heal(a, b)
+		}
+	}
+}
+
+// Partitioned reports whether messages from -> to are currently blocked.
+func (n *Network) Partitioned(from, to NodeID) bool {
+	return n.partitioned[from][to]
+}
+
+// SetFilter installs (or, with nil, removes) the message fault filter.
+func (n *Network) SetFilter(f Filter) { n.filter = f }
+
 // Send transmits msg of the given wire size from one node to another.
 // Delivery happens after propagation latency, serialization delay, and
 // jitter; it is silently dropped if the destination is crashed or the pair
@@ -117,11 +191,32 @@ func (n *Network) Send(from, to NodeID, msg Message, size int) {
 	dst, ok := n.nodes[to]
 	if !ok {
 		n.dropped++
+		n.droppedUnknown++
 		return
 	}
 	if n.partitioned[from][to] {
 		n.dropped++
+		n.droppedPartition++
 		return
+	}
+	var extraDelay time.Duration
+	copies := 1
+	if n.filter != nil {
+		act := n.filter(from, to, msg, size)
+		if act.Drop {
+			n.dropped++
+			n.droppedInjected++
+			return
+		}
+		if act.Replace != nil {
+			msg = act.Replace
+		}
+		extraDelay = act.Delay
+		if act.Duplicates > 0 {
+			copies += act.Duplicates
+			n.sent += uint64(act.Duplicates)
+			n.bytes += uint64(act.Duplicates) * uint64(size)
+		}
 	}
 	src := n.nodes[from]
 	// A busy sender emits after it finishes its current processing.
@@ -129,10 +224,19 @@ func (n *Network) Send(from, to NodeID, msg Message, size int) {
 	if src != nil && src.busyUntil > depart {
 		depart = src.busyUntil
 	}
-	arrive := depart + n.linkDelay(from, to, size)
+	for i := 0; i < copies; i++ {
+		arrive := depart + extraDelay + n.linkDelay(from, to, size)
+		n.deliver(dst, from, msg, arrive)
+	}
+}
+
+// deliver schedules one copy of msg to arrive at dst at the given time,
+// honoring crash state and receiver busy-queueing at delivery time.
+func (n *Network) deliver(dst *node, from NodeID, msg Message, arrive Time) {
 	n.sim.At(arrive, func() {
 		if dst.crashed {
 			n.dropped++
+			n.droppedCrash++
 			return
 		}
 		n.delivered++
@@ -201,17 +305,32 @@ func (n *Network) After(id NodeID, delay time.Duration, fn func()) {
 	})
 }
 
-// Stats summarizes traffic counters.
+// Stats summarizes traffic counters. Dropped is the total; the Dropped*
+// fields break it out by cause (crashed destination, partitioned link,
+// unregistered destination, chaos-filter injection).
 type Stats struct {
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64
-	Bytes     uint64
+	Sent             uint64
+	Delivered        uint64
+	Dropped          uint64
+	Bytes            uint64
+	DroppedCrash     uint64
+	DroppedPartition uint64
+	DroppedUnknown   uint64
+	DroppedInjected  uint64
 }
 
 // Stats returns a snapshot of traffic counters.
 func (n *Network) Stats() Stats {
-	return Stats{Sent: n.sent, Delivered: n.delivered, Dropped: n.dropped, Bytes: n.bytes}
+	return Stats{
+		Sent:             n.sent,
+		Delivered:        n.delivered,
+		Dropped:          n.dropped,
+		Bytes:            n.bytes,
+		DroppedCrash:     n.droppedCrash,
+		DroppedPartition: n.droppedPartition,
+		DroppedUnknown:   n.droppedUnknown,
+		DroppedInjected:  n.droppedInjected,
+	}
 }
 
 // NodeIDs returns the registered node ids (order unspecified).
