@@ -229,3 +229,35 @@ func Audit(ledgers map[string][]Record) []Finding {
 	}
 	return findings
 }
+
+// ChainDigest returns the chain's final hash — an order-sensitive
+// commitment to the whole ledger. Two ledgers with equal ChainDigest
+// recorded the same decisions in the same order (the cross-backend
+// identity the live single-flow experiments assert).
+func ChainDigest(records []Record) [32]byte {
+	if len(records) == 0 {
+		return [32]byte{}
+	}
+	return records[len(records)-1].Hash
+}
+
+// ContentDigest returns an order-insensitive commitment to the ledger:
+// the hash of the sorted per-record lines. Concurrent workloads reach
+// the atomic broadcast in backend-dependent order, so cross-backend
+// comparison of multi-flow runs uses this digest — same decisions, any
+// order.
+func ContentDigest(records []Record) [32]byte {
+	lines := make([]string, len(records))
+	for i, r := range records {
+		lines[i] = fmt.Sprintf("%s|%s|%x", r.Kind, r.Subject, r.Canonical)
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, line := range lines {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

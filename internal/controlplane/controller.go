@@ -18,11 +18,11 @@ import (
 
 	"cicero/internal/audit"
 	"cicero/internal/bft"
+	"cicero/internal/fabric"
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
 	"cicero/internal/routing"
 	"cicero/internal/scheduler"
-	"cicero/internal/simnet"
 	"cicero/internal/tcrypto/bls"
 	"cicero/internal/tcrypto/pki"
 )
@@ -80,7 +80,7 @@ type FailureDetectorConfig struct {
 
 // Config assembles a controller.
 type Config struct {
-	// ID is the controller's identity and simnet node id.
+	// ID is the controller's identity and fabric node id.
 	ID pki.Identity
 	// Domain is this controller's update domain index.
 	Domain int
@@ -88,7 +88,9 @@ type Config struct {
 	// (identifier order; never reused).
 	Members []pki.Identity
 
-	Net       *simnet.Network
+	// Net is the transport seam; the same controller runs on the
+	// simulator or the live backends.
+	Net       fabric.Fabric
 	Cost      protocol.CostModel
 	Keys      *pki.KeyPair
 	Directory *pki.Directory
@@ -165,7 +167,7 @@ type Controller struct {
 	earlyConfig []protocol.MsgConfigShare
 
 	// Failure detector state.
-	lastSeen  map[pki.Identity]simnet.Time
+	lastSeen  map[pki.Identity]fabric.Time
 	suspected map[pki.Identity]bool
 	hbSeq     uint64
 
@@ -190,7 +192,7 @@ type Controller struct {
 	Reshares        uint64
 }
 
-var _ simnet.Handler = (*Controller)(nil)
+var _ fabric.Handler = (*Controller)(nil)
 
 // New creates a controller and registers it on the network.
 func New(cfg Config) (*Controller, error) {
@@ -217,7 +219,7 @@ func New(cfg Config) (*Controller, error) {
 		aggPending:      make(map[string]*aggCollect),
 		configShares:    make(map[uint64]map[uint32][]byte),
 		updateMod:       make(map[string][]openflow.FlowMod),
-		lastSeen:        make(map[pki.Identity]simnet.Time),
+		lastSeen:        make(map[pki.Identity]fabric.Time),
 		suspected:       make(map[pki.Identity]bool),
 	}
 	if cfg.Scheme != nil {
@@ -229,7 +231,7 @@ func New(cfg Config) (*Controller, error) {
 			return nil, err
 		}
 	}
-	cfg.Net.Register(simnet.NodeID(cfg.ID), c)
+	cfg.Net.Register(fabric.NodeID(cfg.ID), c)
 	if cfg.FailureDetector != nil && cfg.Protocol == ProtoCicero {
 		c.scheduleHeartbeat()
 	}
@@ -317,12 +319,28 @@ func (c *Controller) rebuildReplica() error {
 	}
 	epoch := c.phase
 	replica, err := bft.NewReplica(bft.Config{
-		ID:        bft.ReplicaID(slot + 1),
-		Replicas:  ids,
-		Mode:      mode,
-		Transport: &bftTransport{c: c, epoch: epoch},
+		ID:       bft.ReplicaID(slot + 1),
+		Replicas: ids,
+		Mode:     mode,
+		// One transport adapter serves every backend: replica slots are
+		// resolved against the live membership, and messages are tagged
+		// with the epoch so stale-epoch traffic is filtered on receipt.
+		Transport: &bft.FabricTransport{
+			Fab:  c.cfg.Net,
+			Self: fabric.NodeID(c.cfg.ID),
+			Peer: func(to bft.ReplicaID) (fabric.NodeID, bool) {
+				slot := int(to) - 1
+				if slot < 0 || slot >= len(c.members) {
+					return "", false
+				}
+				return fabric.NodeID(c.members[slot]), true
+			},
+			Wrap: func(msg bft.Message) fabric.Message {
+				return protocol.MsgBFT{Phase: epoch, Inner: msg}
+			},
+		},
 		Timer: func(d time.Duration, fn func()) {
-			c.cfg.Net.After(simnet.NodeID(c.cfg.ID), d, fn)
+			c.cfg.Net.After(fabric.NodeID(c.cfg.ID), d, fn)
 		},
 		Deliver:           func(seq uint64, payload []byte) { c.onDeliver(payload) },
 		ViewChangeTimeout: c.cfg.ViewChangeTimeout,
@@ -334,27 +352,8 @@ func (c *Controller) rebuildReplica() error {
 	return nil
 }
 
-// bftTransport routes atomic-broadcast messages over simnet, tagging them
-// with the membership epoch.
-type bftTransport struct {
-	c     *Controller
-	epoch uint64
-}
-
-var _ bft.Transport = (*bftTransport)(nil)
-
-// Send implements bft.Transport.
-func (t *bftTransport) Send(to bft.ReplicaID, msg bft.Message) {
-	slot := int(to) - 1
-	if slot < 0 || slot >= len(t.c.members) {
-		return
-	}
-	t.c.cfg.Net.Send(simnet.NodeID(t.c.cfg.ID), simnet.NodeID(t.c.members[slot]),
-		protocol.MsgBFT{Phase: t.epoch, Inner: msg}, 256)
-}
-
-// HandleMessage implements simnet.Handler.
-func (c *Controller) HandleMessage(from simnet.NodeID, msg simnet.Message) {
+// HandleMessage implements fabric.Handler.
+func (c *Controller) HandleMessage(from fabric.NodeID, msg fabric.Message) {
 	if c.stopped {
 		return
 	}
@@ -370,7 +369,7 @@ func (c *Controller) HandleMessage(from simnet.NodeID, msg simnet.Message) {
 	case protocol.MsgConfigShare:
 		c.handleConfigShare(m)
 	case protocol.MsgHeartbeat:
-		c.lastSeen[m.From] = c.cfg.Net.Sim().Now()
+		c.lastSeen[m.From] = c.cfg.Net.Now()
 	case protocol.MsgReshareDeal:
 		c.handleReshareDeal(m)
 	case protocol.MsgReshareSub:
@@ -383,11 +382,11 @@ func (c *Controller) HandleMessage(from simnet.NodeID, msg simnet.Message) {
 // handleBFT feeds an atomic-broadcast message into the current epoch's
 // replica; messages from future epochs are buffered until the local
 // membership change completes.
-func (c *Controller) handleBFT(from simnet.NodeID, m protocol.MsgBFT) {
+func (c *Controller) handleBFT(from fabric.NodeID, m protocol.MsgBFT) {
 	if c.replica == nil {
 		return
 	}
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.BFTCompute)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.BFTCompute)
 	switch {
 	case m.Phase == c.phase:
 		slot := c.memberSlot(pki.Identity(from))
@@ -403,7 +402,7 @@ func (c *Controller) handleBFT(from simnet.NodeID, m protocol.MsgBFT) {
 // handleEventMsg processes an event from a switch or a peer domain
 // (Fig. 7a): verify the source, dedup, forward cross-domain, broadcast.
 func (c *Controller) handleEventMsg(m protocol.MsgEvent) {
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Verify+c.cfg.Cost.MsgProcess)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Verify+c.cfg.Cost.MsgProcess)
 	payload := m.Env.Payload
 	if c.cfg.CryptoReal {
 		opened, err := c.cfg.Directory.Open(m.Env)
@@ -447,7 +446,7 @@ func (c *Controller) forwardIfCrossDomain(ev protocol.Event) {
 	if ev.Kind != protocol.EventFlowRequest && ev.Kind != protocol.EventFlowTeardown {
 		return
 	}
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.RouteCompute)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.RouteCompute)
 	mods, err := c.cfg.App.PlanFlow(ev)
 	if err != nil {
 		return
@@ -461,7 +460,7 @@ func (c *Controller) forwardIfCrossDomain(ev protocol.Event) {
 	payload := fwd.Encode()
 	var env pki.Envelope
 	if c.cfg.CryptoReal {
-		c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Sign)
+		c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Sign)
 		env = c.cfg.Keys.Seal(payload)
 	} else {
 		env = pki.Envelope{From: c.cfg.ID, Payload: payload}
@@ -474,7 +473,7 @@ func (c *Controller) forwardIfCrossDomain(ev protocol.Event) {
 		if len(peers) == 0 {
 			continue
 		}
-		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(peers[0]),
+		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(peers[0]),
 			protocol.MsgEvent{Env: env}, len(payload)+96)
 	}
 }
@@ -541,7 +540,7 @@ func (c *Controller) processEvent(ev protocol.Event) {
 	default:
 		return
 	}
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.RouteCompute)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.RouteCompute)
 	mods, err := c.cfg.App.PlanFlow(ev)
 	if err != nil || len(mods) == 0 {
 		return
@@ -565,8 +564,13 @@ func (c *Controller) processEvent(ev protocol.Event) {
 		}
 	}
 	plan := c.cfg.Sched.Schedule(updates)
+	// Event replay is impossible here (deliveredEvents dedups upstream),
+	// and the engine tolerates acks that raced ahead of this plan — a
+	// switch can apply an update via the other controllers' quorum before
+	// this controller delivers the event. A failure therefore indicates a
+	// malformed plan from the scheduler; dropping it is the only safe move.
 	if err := c.engine.Add(plan); err != nil {
-		return // duplicate plan (event replay): ignore
+		return
 	}
 }
 
@@ -582,7 +586,7 @@ func (c *Controller) dispatchUpdate(su scheduler.ScheduledUpdate) {
 	}
 	canonical := openflow.CanonicalUpdateBytes(su.ID, c.phase, mods)
 	if c.cfg.Protocol == ProtoCicero {
-		c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
+		c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
 		msg.ShareIndex = c.cfg.Share.Index
 		if c.cfg.CryptoReal {
 			share := c.cfg.Scheme.SignShare(c.cfg.Share, canonical)
@@ -597,10 +601,10 @@ func (c *Controller) dispatchUpdate(su scheduler.ScheduledUpdate) {
 			c.handleUpdateShare(msg) // self-delivery without network hop
 			return
 		}
-		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(agg), msg, size)
+		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(agg), msg, size)
 		return
 	}
-	c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(su.Mod.Switch), msg, size)
+	c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(su.Mod.Switch), msg, size)
 }
 
 // handleUpdateShare collects controllers' shares when this controller is
@@ -609,7 +613,7 @@ func (c *Controller) handleUpdateShare(m protocol.MsgUpdate) {
 	if !c.isAggregator() || c.cfg.Protocol != ProtoCicero {
 		return
 	}
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.MsgProcess)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.MsgProcess)
 	key := fmt.Sprintf("%s|%d", m.UpdateID, m.Phase)
 	col, ok := c.aggPending[key]
 	if !ok {
@@ -625,7 +629,7 @@ func (c *Controller) handleUpdateShare(m protocol.MsgUpdate) {
 		return
 	}
 	col.done = true
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID),
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID),
 		time.Duration(quorum)*c.cfg.Cost.BLSAggregatePerShare+c.cfg.Cost.AggregatorQueue)
 	var sig []byte
 	if c.cfg.CryptoReal {
@@ -649,13 +653,13 @@ func (c *Controller) handleUpdateShare(m protocol.MsgUpdate) {
 		return
 	}
 	out := protocol.MsgAggUpdate{UpdateID: m.UpdateID, Mods: col.mods, Phase: m.Phase, Signature: sig}
-	c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(col.mods[0].Switch), out, 256*len(col.mods))
+	c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(col.mods[0].Switch), out, 256*len(col.mods))
 }
 
 // handleAckMsg verifies a switch acknowledgement and releases dependents
 // (Fig. 7b's loop).
 func (c *Controller) handleAckMsg(m protocol.MsgAck) {
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Verify+c.cfg.Cost.MsgProcess)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Verify+c.cfg.Cost.MsgProcess)
 	payload := m.Env.Payload
 	if c.cfg.CryptoReal {
 		opened, err := c.cfg.Directory.Open(m.Env)
@@ -716,13 +720,13 @@ func (c *Controller) PushConfig() {
 		if c.leaderForForwarding() {
 			cfgMsg := protocol.MsgConfig{Phase: c.phase, Quorum: 1, Members: c.members}
 			for _, sw := range c.cfg.Switches {
-				c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(sw), cfgMsg, 256)
+				c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(sw), cfgMsg, 256)
 			}
 		}
 		return
 	}
 	canonical := protocol.ConfigBytes(c.phase, c.Quorum(), c.members, c.aggregatorID())
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
 	share := protocol.MsgConfigShare{
 		Phase:      c.phase,
 		Quorum:     c.Quorum(),
@@ -739,7 +743,7 @@ func (c *Controller) PushConfig() {
 		c.handleConfigShare(share)
 		return
 	}
-	c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(leader), share, 512)
+	c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(leader), share, 512)
 }
 
 // handleConfigShare collects config shares at the leader and pushes the
@@ -767,7 +771,7 @@ func (c *Controller) handleConfigShare(m protocol.MsgConfigShare) {
 	if len(shares) < quorum {
 		return
 	}
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID),
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID),
 		time.Duration(quorum)*c.cfg.Cost.BLSAggregatePerShare)
 	var sig []byte
 	if c.cfg.CryptoReal {
@@ -799,7 +803,7 @@ func (c *Controller) handleConfigShare(m protocol.MsgConfigShare) {
 		Signature:  sig,
 	}
 	for _, sw := range c.cfg.Switches {
-		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(sw), out, 512)
+		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(sw), out, 512)
 	}
 }
 

@@ -1,8 +1,8 @@
 package controlplane
 
 import (
+	"cicero/internal/fabric"
 	"cicero/internal/protocol"
-	"cicero/internal/simnet"
 )
 
 // This file implements the heartbeat failure detector of §5.1: members
@@ -18,11 +18,11 @@ func (c *Controller) scheduleHeartbeat() {
 	if fd == nil || fd.Interval <= 0 {
 		return
 	}
-	c.cfg.Net.After(simnet.NodeID(c.cfg.ID), fd.Interval, func() {
+	c.cfg.Net.After(fabric.NodeID(c.cfg.ID), fd.Interval, func() {
 		if c.stopped {
 			return
 		}
-		now := c.cfg.Net.Sim().Now()
+		now := c.cfg.Net.Now()
 		if fd.Horizon > 0 && now > fd.Horizon {
 			return
 		}
@@ -32,7 +32,7 @@ func (c *Controller) scheduleHeartbeat() {
 			if m == c.cfg.ID {
 				continue
 			}
-			c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(m), hb, 64)
+			c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(m), hb, 64)
 		}
 		c.checkSuspects(now)
 		c.scheduleHeartbeat()
@@ -40,7 +40,7 @@ func (c *Controller) scheduleHeartbeat() {
 }
 
 // checkSuspects proposes removal of members silent past the timeout.
-func (c *Controller) checkSuspects(now simnet.Time) {
+func (c *Controller) checkSuspects(now fabric.Time) {
 	fd := c.cfg.FailureDetector
 	for _, m := range c.members {
 		if m == c.cfg.ID {

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"sort"
 
+	"cicero/internal/fabric"
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
-	"cicero/internal/simnet"
 	"cicero/internal/tcrypto/bls"
 	"cicero/internal/tcrypto/dkg"
 	"cicero/internal/tcrypto/pki"
@@ -25,7 +25,7 @@ import (
 // bufferedBFT is an atomic-broadcast message from the next epoch, held
 // until the local membership change completes.
 type bufferedBFT struct {
-	from simnet.NodeID
+	from fabric.NodeID
 	msg  protocol.MsgBFT
 }
 
@@ -155,7 +155,7 @@ func (c *Controller) onMembershipDelivered(mc protocol.MembershipChange) {
 	// The bootstrap controller transfers state to a joining controller
 	// (§4.3 step i/iv) before resharing reaches it.
 	if mc.Op == protocol.MemberAdd && c.cfg.Bootstrap {
-		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(mc.Controller), protocol.MsgStateTransfer{
+		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(mc.Controller), protocol.MsgStateTransfer{
 			Phase:       c.phase,
 			NewPhase:    st.newPhase,
 			Members:     c.Members(),
@@ -190,7 +190,7 @@ func (c *Controller) isDealer(st *changeState) bool {
 
 // dealReshare produces and distributes this dealer's reshare contribution.
 func (c *Controller) dealReshare(st *changeState) {
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.ReshareCompute)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.ReshareCompute)
 	newIndices := make([]uint32, len(st.newMembers))
 	for i := range st.newMembers {
 		newIndices[i] = uint32(i + 1)
@@ -207,8 +207,8 @@ func (c *Controller) dealReshare(st *changeState) {
 			c.handleReshareSub(subMsg)
 			continue
 		}
-		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(m), dealMsg, 2048)
-		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(m), subMsg, 256)
+		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(m), dealMsg, 2048)
+		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(m), subMsg, 256)
 	}
 }
 
@@ -279,7 +279,7 @@ func (c *Controller) tryFinishChange() {
 			return
 		}
 	}
-	c.cfg.Net.Charge(simnet.NodeID(c.cfg.ID), c.cfg.Cost.ReshareCompute)
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.ReshareCompute)
 	newShare, newGK, err := st.receiver.Finalize(st.dealerSet)
 	if err != nil {
 		return
@@ -370,7 +370,7 @@ func (c *Controller) announceMembershipToPeers() {
 		if dom == c.cfg.Domain || len(peers) == 0 {
 			continue
 		}
-		c.cfg.Net.Send(simnet.NodeID(c.cfg.ID), simnet.NodeID(peers[0]),
+		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(peers[0]),
 			protocol.MsgEvent{Env: env}, len(payload)+96)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cicero/internal/controlplane"
+	"cicero/internal/fabric"
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
 	"cicero/internal/routing"
@@ -65,6 +66,16 @@ type Config struct {
 
 	// Seed drives all simulation randomness.
 	Seed int64
+
+	// Fabric, when non-nil, is the transport the deployment is assembled
+	// on (a live backend from internal/livenet). Nil builds the default
+	// deterministic simulator, wired with the topology-derived latency
+	// model. Live fabrics ignore Jitter, LANLatency and the simulated
+	// parts of Cost (real work takes real time there), and the
+	// simulator-bound drivers (RunFlows, MeasureUpdateTime) are
+	// unavailable — drive flows through the fabric instead (see
+	// internal/experiments/live.go).
+	Fabric fabric.Fabric
 
 	// LANLatency is the one-way latency between co-located nodes
 	// (controller to controller of one domain, controller to its pod's

@@ -7,6 +7,7 @@ import (
 
 	"cicero/internal/controlplane"
 	"cicero/internal/dataplane"
+	"cicero/internal/fabric"
 	"cicero/internal/routing"
 	"cicero/internal/simnet"
 	"cicero/internal/tcrypto/bls"
@@ -31,7 +32,12 @@ type Domain struct {
 
 // Network is an assembled deployment.
 type Network struct {
-	Cfg       Config
+	Cfg Config
+	// Fab is the transport every component was built against; it is the
+	// simnet Network below or a live backend (Config.Fabric).
+	Fab fabric.Fabric
+	// Sim and Net are the discrete-event simulator pair; both are nil
+	// when the deployment runs on a live fabric.
 	Sim       *simnet.Simulator
 	Net       *simnet.Network
 	Graph     *topology.Graph
@@ -65,12 +71,8 @@ func Build(cfg Config) (*Network, error) {
 	if cfg.Protocol == controlplane.ProtoCicero && cfg.ControllersPerDomain < 4 {
 		return nil, fmt.Errorf("core: cicero requires >= 4 controllers per domain, got %d", cfg.ControllersPerDomain)
 	}
-	sim := simnet.NewSimulator(cfg.Seed)
-	net := simnet.NewNetwork(sim, cfg.LANLatency)
 	n := &Network{
 		Cfg:            cfg,
-		Sim:            sim,
-		Net:            net,
 		Graph:          cfg.Graph,
 		Directory:      pki.NewDirectory(),
 		Scheme:         bls.NewScheme(cfg.Params),
@@ -79,8 +81,17 @@ func Build(cfg Config) (*Network, error) {
 		site:           make(map[string]string),
 		distCache:      make(map[[2]string]time.Duration),
 	}
-	net.Latency = n.latency
-	net.JitterFrac = cfg.Jitter
+	if cfg.Fabric != nil {
+		// Live backend: components construct against the provided fabric;
+		// latency and jitter are whatever the real transport imposes.
+		n.Fab = cfg.Fabric
+	} else {
+		sim := simnet.NewSimulator(cfg.Seed)
+		net := simnet.NewNetwork(sim, cfg.LANLatency)
+		net.Latency = n.latency
+		net.JitterFrac = cfg.Jitter
+		n.Sim, n.Net, n.Fab = sim, net, net
+	}
 
 	// Partition switches into domains.
 	domainSwitches := make([][]string, cfg.NumDomains)
@@ -144,7 +155,7 @@ func Build(cfg Config) (*Network, error) {
 				ID:                id,
 				Domain:            dom,
 				Members:           d.Members,
-				Net:               net,
+				Net:               n.Fab,
 				Cost:              cfg.Cost,
 				Keys:              keys,
 				Directory:         n.Directory,
@@ -191,7 +202,7 @@ func Build(cfg Config) (*Network, error) {
 			}
 			swCfg := dataplane.Config{
 				ID:          swID,
-				Net:         net,
+				Net:         n.Fab,
 				Cost:        cfg.Cost,
 				Mode:        mode,
 				Keys:        keys,
@@ -277,7 +288,7 @@ func (n *Network) DomainOfSwitch(sw string) int { return n.domainOfSwitch[sw] }
 func (n *Network) SwitchCPUTotal() time.Duration {
 	var total time.Duration
 	for id := range n.Switches {
-		total += n.Net.BusyTotal(simnet.NodeID(id))
+		total += n.Fab.BusyTotal(simnet.NodeID(id))
 	}
 	return total
 }

@@ -1,8 +1,8 @@
 package dataplane
 
 import (
+	"cicero/internal/fabric"
 	"cicero/internal/openflow"
-	"cicero/internal/simnet"
 )
 
 // OpenFlow bundle and barrier support (§2.2 of the paper): bundles give
@@ -35,13 +35,13 @@ func (s *Switch) handleBundleAdd(m openflow.BundleAdd) {
 
 // handleBundleCommit atomically applies an open bundle: either every mod
 // is applied (all at the same instant of virtual time) or none.
-func (s *Switch) handleBundleCommit(from simnet.NodeID, m openflow.BundleCommit) {
+func (s *Switch) handleBundleCommit(from fabric.NodeID, m openflow.BundleCommit) {
 	b, ok := s.bundles[m.Bundle.String()]
 	if !ok {
 		return
 	}
 	delete(s.bundles, m.Bundle.String())
-	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.SwitchApply)
+	s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.SwitchApply)
 	for _, mod := range b.mods {
 		s.table.Apply(mod)
 		if mod.Op == openflow.FlowAdd {
@@ -50,12 +50,12 @@ func (s *Switch) handleBundleCommit(from simnet.NodeID, m openflow.BundleCommit)
 	}
 	s.UpdatesApplied++
 	// Reply with a barrier-style confirmation to the committer.
-	s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), from, openflow.BarrierReply{ID: m.Bundle}, 64)
+	s.cfg.Net.Send(fabric.NodeID(s.cfg.ID), from, openflow.BarrierReply{ID: m.Bundle}, 64)
 }
 
 // handleBarrier answers a barrier request once all preceding messages
 // have been processed — in the discrete-event model, message handling is
 // serial per node, so the reply is immediate after queued work.
-func (s *Switch) handleBarrier(from simnet.NodeID, m openflow.BarrierRequest) {
-	s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), from, openflow.BarrierReply{ID: m.ID}, 64)
+func (s *Switch) handleBarrier(from fabric.NodeID, m openflow.BarrierRequest) {
+	s.cfg.Net.Send(fabric.NodeID(s.cfg.ID), from, openflow.BarrierReply{ID: m.ID}, 64)
 }

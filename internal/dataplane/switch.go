@@ -11,9 +11,9 @@ import (
 	"sort"
 	"time"
 
+	"cicero/internal/fabric"
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
-	"cicero/internal/simnet"
 	"cicero/internal/tcrypto/bls"
 	"cicero/internal/tcrypto/pki"
 )
@@ -36,8 +36,10 @@ const (
 
 // Config assembles a switch.
 type Config struct {
-	ID   string
-	Net  *simnet.Network
+	ID string
+	// Net is the transport seam; the same switch runs on the simulator or
+	// the live backends.
+	Net  fabric.Fabric
 	Cost protocol.CostModel
 	Mode Mode
 
@@ -83,7 +85,7 @@ type pendingUpdate struct {
 // start flows whose rules were missing).
 type waiter struct {
 	src, dst string
-	fn       func(at simnet.Time)
+	fn       func(at fabric.Time)
 }
 
 // Switch is one data-plane switch.
@@ -117,7 +119,7 @@ type Switch struct {
 	UpdatesRejected uint64
 }
 
-var _ simnet.Handler = (*Switch)(nil)
+var _ fabric.Handler = (*Switch)(nil)
 
 // New creates a switch and registers it on the network.
 func New(cfg Config) (*Switch, error) {
@@ -139,7 +141,7 @@ func New(cfg Config) (*Switch, error) {
 	if cfg.Scheme != nil {
 		s.verifyCache = bls.NewVerifyCache(bls.DefaultVerifyCacheSize)
 	}
-	cfg.Net.Register(simnet.NodeID(cfg.ID), s)
+	cfg.Net.Register(fabric.NodeID(cfg.ID), s)
 	return s, nil
 }
 
@@ -175,9 +177,9 @@ func (s *Switch) Lookup(src, dst string) (openflow.Rule, bool) {
 
 // Subscribe registers fn to run when a FlowAdd rule covering (src, dst)
 // is applied. If such a rule already exists, fn runs immediately.
-func (s *Switch) Subscribe(src, dst string, fn func(at simnet.Time)) {
+func (s *Switch) Subscribe(src, dst string, fn func(at fabric.Time)) {
 	if _, ok := s.table.Lookup(src, dst); ok {
-		fn(s.cfg.Net.Sim().Now())
+		fn(s.cfg.Net.Now())
 		return
 	}
 	s.waiters = append(s.waiters, waiter{src: src, dst: dst, fn: fn})
@@ -214,7 +216,7 @@ func (s *Switch) PacketArrival(src, dst string) (openflow.Rule, bool) {
 // aggregator when one is assigned, otherwise to every controller.
 func (s *Switch) EmitEvent(ev protocol.Event) {
 	s.EventsGenerated++
-	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.Ed25519Sign)
+	s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.Ed25519Sign)
 	payload := ev.Encode()
 	var env pki.Envelope
 	if s.cfg.CryptoReal {
@@ -225,25 +227,25 @@ func (s *Switch) EmitEvent(ev protocol.Event) {
 	msg := protocol.MsgEvent{Env: env}
 	size := len(payload) + 96
 	if s.aggregator != "" {
-		s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), simnet.NodeID(s.aggregator), msg, size)
+		s.cfg.Net.Send(fabric.NodeID(s.cfg.ID), fabric.NodeID(s.aggregator), msg, size)
 		return
 	}
 	for _, ctl := range s.cfg.Controllers {
-		s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), simnet.NodeID(ctl), msg, size)
+		s.cfg.Net.Send(fabric.NodeID(s.cfg.ID), fabric.NodeID(ctl), msg, size)
 	}
 }
 
-// HandleMessage implements simnet.Handler (Fig. 6b).
-func (s *Switch) HandleMessage(from simnet.NodeID, msg simnet.Message) {
+// HandleMessage implements fabric.Handler (Fig. 6b).
+func (s *Switch) HandleMessage(from fabric.NodeID, msg fabric.Message) {
 	switch m := msg.(type) {
 	case protocol.MsgUpdate:
-		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
+		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
 		s.handleUpdate(m)
 	case protocol.MsgAggUpdate:
-		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
+		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
 		s.handleAggUpdate(m)
 	case protocol.MsgConfig:
-		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
+		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
 		s.handleConfig(m)
 	case openflow.BundleOpen:
 		s.handleBundleOpen(m)
@@ -292,7 +294,7 @@ func (s *Switch) handleUpdate(m protocol.MsgUpdate) {
 		// Quorum reached: aggregate and verify (Fig. 6b). A failed
 		// verification (Byzantine shares in the mix) keeps the update
 		// pending: later honest shares can still complete it.
-		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID),
+		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID),
 			time.Duration(s.cfg.Quorum)*s.cfg.Cost.BLSAggregatePerShare+s.cfg.Cost.BLSVerifyAggregate)
 		if s.cfg.CryptoReal && !s.verifyBypass && !s.verifyShares(m.UpdateID, pu) {
 			s.UpdatesRejected++
@@ -333,7 +335,7 @@ func (s *Switch) handleAggUpdate(m protocol.MsgAggUpdate) {
 		s.apply(m.UpdateID, m.Phase, m.Mods, true)
 		return
 	}
-	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.BLSVerifyAggregate)
+	s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.BLSVerifyAggregate)
 	valid := true
 	if s.cfg.CryptoReal && !s.verifyBypass {
 		canonical := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, m.Mods)
@@ -351,7 +353,7 @@ func (s *Switch) handleConfig(m protocol.MsgConfig) {
 		return // stale
 	}
 	if s.cfg.Mode != ModeUnsigned {
-		s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.BLSVerifyAggregate)
+		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.BLSVerifyAggregate)
 		if s.cfg.CryptoReal && s.cfg.Scheme != nil {
 			canonical := protocol.ConfigBytes(m.Phase, m.Quorum, m.Members, m.Aggregator)
 			pt, err := s.cfg.Scheme.Params.ParsePoint(m.Signature)
@@ -437,7 +439,7 @@ func (s *Switch) apply(id openflow.MsgID, phase uint64, mods []openflow.FlowMod,
 		s.sendAck(id, false)
 		return
 	}
-	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.SwitchApply)
+	s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.SwitchApply)
 	s.UpdatesApplied++
 	for _, mod := range mods {
 		s.table.Apply(mod)
@@ -454,7 +456,7 @@ func (s *Switch) apply(id openflow.MsgID, phase uint64, mods []openflow.FlowMod,
 // wakeWaiters fires subscriptions covered by a newly installed rule and
 // clears the corresponding pending-event dedup entries.
 func (s *Switch) wakeWaiters(rule openflow.Rule) {
-	now := s.cfg.Net.Sim().Now()
+	now := s.cfg.Net.Now()
 	kept := s.waiters[:0]
 	for _, w := range s.waiters {
 		if rule.Match.Covers(w.src, w.dst) && rule.Action.Type == openflow.ActionOutput {
@@ -474,7 +476,7 @@ func (s *Switch) wakeWaiters(rule openflow.Rule) {
 // sendAck signs and sends an acknowledgement to every controller.
 func (s *Switch) sendAck(id openflow.MsgID, applied bool) {
 	ack := protocol.Ack{UpdateID: id, Switch: s.cfg.ID, Applied: applied}
-	s.cfg.Net.Charge(simnet.NodeID(s.cfg.ID), s.cfg.Cost.Ed25519Sign)
+	s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.Ed25519Sign)
 	payload := ack.Encode()
 	var env pki.Envelope
 	if s.cfg.CryptoReal {
@@ -484,6 +486,6 @@ func (s *Switch) sendAck(id openflow.MsgID, applied bool) {
 	}
 	msg := protocol.MsgAck{Env: env}
 	for _, ctl := range s.cfg.Controllers {
-		s.cfg.Net.Send(simnet.NodeID(s.cfg.ID), simnet.NodeID(ctl), msg, len(payload)+96)
+		s.cfg.Net.Send(fabric.NodeID(s.cfg.ID), fabric.NodeID(ctl), msg, len(payload)+96)
 	}
 }

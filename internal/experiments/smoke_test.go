@@ -40,3 +40,29 @@ func TestExperimentsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestLiveSmoke runs a miniature live benchmark on the in-process backend
+// (real concurrency, wall-clock timers, strict wire codec, real crypto)
+// and requires every simnet cross-check to hold. The TCP backend gets the
+// same treatment in CI via cmd/cicero-live.
+func TestLiveSmoke(t *testing.T) {
+	report, err := RunLive(LiveOptions{
+		Backend:     "inproc",
+		Quick:       true,
+		SingleFlows: 2,
+		MultiFlows:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := LiveReport{Backends: []LiveBackendReport{*report}}
+	if !full.Passed() {
+		t.Fatalf("live cross-check failed: %+v", report)
+	}
+	if report.SingleFlow.Updates != 2 || report.MultiFlow.Updates != 3 {
+		t.Fatalf("unexpected update counts: %+v", report)
+	}
+	if report.SingleWire.Bytes == 0 || report.MultiWire.Bytes == 0 {
+		t.Fatalf("no wire bytes accounted: %+v", report)
+	}
+}

@@ -1,0 +1,111 @@
+// Package fabric defines the narrow transport seam between Cicero's
+// protocol components (controllers, switches, BFT replicas) and whatever
+// carries their messages. The protocol code is written against the Fabric
+// interface only, so the identical controller/switch/BFT logic runs on:
+//
+//   - simnet: the deterministic discrete-event simulator (virtual time,
+//     bit-reproducible runs from a seed) — internal/simnet;
+//   - inproc: a live in-process backend (one goroutine mailbox per node,
+//     wall-clock timers, channel transport) — internal/livenet;
+//   - tcp: a live backend over localhost TCP sockets with length-prefixed
+//     frames and per-peer reconnect — internal/livenet.
+//
+// The seam is deliberately minimal: registration, asynchronous datagram
+// sends (delivery is best-effort; protocols must tolerate loss), per-node
+// timers, CPU accounting, a clock, and crash/partition queries. Anything
+// richer (fault filters, jitter, bandwidth models) stays backend-specific.
+package fabric
+
+import "time"
+
+// NodeID names a node on the fabric (switch, controller, host).
+type NodeID string
+
+// Message is an opaque protocol message. Handlers type-switch on it. Live
+// backends that cross a real wire serialize messages with the wire codec
+// (internal/protocol.WireCodec); within a process messages pass by value.
+type Message any
+
+// Time is a fabric timestamp: virtual time since simulation start on
+// simnet, wall-clock time since fabric creation on live backends.
+type Time = time.Duration
+
+// Handler processes messages delivered to a node. A backend guarantees
+// that all deliveries, timer callbacks, and Invoke thunks for one node run
+// serially (simnet: the single event loop; livenet: the node's mailbox
+// goroutine), so handlers need no internal locking.
+type Handler interface {
+	HandleMessage(from NodeID, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, msg Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(from NodeID, msg Message) { f(from, msg) }
+
+var _ Handler = (HandlerFunc)(nil)
+
+// Stats summarizes fabric traffic. Dropped is the total; the Dropped*
+// fields break it out by cause where the backend distinguishes them
+// (simnet tracks all four; live backends leave DroppedInjected zero and
+// fold transport errors into DroppedUnknown).
+type Stats struct {
+	Sent             uint64
+	Delivered        uint64
+	Dropped          uint64
+	Bytes            uint64
+	DroppedCrash     uint64
+	DroppedPartition uint64
+	DroppedUnknown   uint64
+	DroppedInjected  uint64
+}
+
+// Fabric carries messages and timers between registered nodes.
+type Fabric interface {
+	// Register adds a node with its message handler. Registering an
+	// existing id replaces its handler (used when a controller restarts).
+	Register(id NodeID, h Handler)
+
+	// Send transmits msg of the given estimated wire size from one node to
+	// another. It is asynchronous and best-effort: the message is silently
+	// dropped if the destination is unknown, crashed, or partitioned
+	// (datagram semantics — protocols must tolerate loss). Backends that
+	// serialize report actual encoded bytes in Stats; size is the model
+	// estimate used where no real wire exists.
+	Send(from, to NodeID, msg Message, size int)
+
+	// After schedules fn on a node after delay; it is suppressed if the
+	// node is crashed when the timer fires. fn runs in the node's serial
+	// execution context.
+	After(id NodeID, delay time.Duration, fn func())
+
+	// Invoke runs fn in the node's serial execution context as soon as
+	// possible (drivers use it to touch node state — flow tables, counters
+	// — without racing the node's handlers). It runs even on crashed
+	// nodes. On simnet the thunk is scheduled at the current virtual time
+	// and runs during Run.
+	Invoke(id NodeID, fn func())
+
+	// Charge accounts cost seconds of CPU work to a node. On simnet this
+	// delays the node's subsequent work (the calibrated cost model); live
+	// backends only account it (real work already takes real time).
+	Charge(id NodeID, cost time.Duration)
+
+	// BusyTotal returns the cumulative CPU time charged to a node.
+	BusyTotal(id NodeID) time.Duration
+
+	// Now returns the fabric clock: virtual time on simnet, wall-clock
+	// time since creation on live backends.
+	Now() Time
+
+	// Crashed reports whether the node is currently failed.
+	Crashed(id NodeID) bool
+
+	// Partitioned reports whether messages from -> to are currently
+	// blocked.
+	Partitioned(from, to NodeID) bool
+
+	// Stats returns a snapshot of traffic counters.
+	Stats() Stats
+}

@@ -1,0 +1,320 @@
+// Package livenet provides live (wall-clock) implementations of the
+// fabric seam, so the identical controller/switch/BFT code that runs on
+// the deterministic simulator also runs as a real concurrent system:
+//
+//   - InProc: one goroutine mailbox per node, wall-clock timers, and
+//     channel-style in-process message passing. Optionally round-trips
+//     every message through the wire codec so serialization bugs surface
+//     in fast in-process tests.
+//   - TCP: the same node runtime, with messages crossing localhost TCP
+//     sockets as length-prefixed codec frames, per-peer connection
+//     caching, and one reconnect attempt on a broken connection.
+//
+// Both backends keep the fabric's per-node serial execution contract: all
+// deliveries, timer callbacks, and Invoke thunks for one node run on that
+// node's single mailbox goroutine, so protocol handlers need no locking.
+// Unlike the simulator there is no global event order — runs are
+// concurrent and nondeterministic — which is exactly what the live
+// cross-check experiments exercise (see internal/experiments/live.go).
+package livenet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicero/internal/fabric"
+)
+
+// Codec serializes fabric messages for a real wire. It is satisfied by
+// *protocol.WireCodec; livenet depends only on this interface so the
+// transport layer stays below the protocol vocabulary.
+type Codec interface {
+	Encode(msg fabric.Message) ([]byte, error)
+	Decode(data []byte) (fabric.Message, error)
+}
+
+// node is one registered endpoint: a handler plus its serial mailbox.
+type node struct {
+	id   fabric.NodeID
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue is the unbounded mailbox. Unbounded is deliberate: a bounded
+	// queue would block senders, and a node sending to itself (or two
+	// nodes flooding each other) could deadlock under backpressure.
+	queue  []func()
+	closed bool
+	h      fabric.Handler
+	busy   atomic.Int64 // accumulated Charge, nanoseconds
+}
+
+// enqueue appends a thunk to the mailbox (no-op after close).
+func (n *node) enqueue(fn func()) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.queue = append(n.queue, fn)
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// loop is the mailbox goroutine: it drains thunks strictly serially.
+func (n *node) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		batch := n.queue
+		n.queue = nil
+		n.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+	}
+}
+
+// handler returns the current handler (Register may replace it live).
+func (n *node) handler() fabric.Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.h
+}
+
+// stats is the atomic counter block behind fabric.Stats.
+type stats struct {
+	sent             atomic.Uint64
+	delivered        atomic.Uint64
+	bytes            atomic.Uint64
+	droppedCrash     atomic.Uint64
+	droppedPartition atomic.Uint64
+	droppedUnknown   atomic.Uint64
+}
+
+// snapshot converts to the fabric view.
+func (s *stats) snapshot() fabric.Stats {
+	out := fabric.Stats{
+		Sent:             s.sent.Load(),
+		Delivered:        s.delivered.Load(),
+		Bytes:            s.bytes.Load(),
+		DroppedCrash:     s.droppedCrash.Load(),
+		DroppedPartition: s.droppedPartition.Load(),
+		DroppedUnknown:   s.droppedUnknown.Load(),
+	}
+	out.Dropped = out.DroppedCrash + out.DroppedPartition + out.DroppedUnknown
+	return out
+}
+
+// base is the node runtime shared by both live backends: registration,
+// mailboxes, wall-clock timers, crash/partition state, and stats.
+type base struct {
+	start time.Time
+
+	mu      sync.RWMutex
+	nodes   map[fabric.NodeID]*node
+	crashed map[fabric.NodeID]bool
+	parts   map[[2]fabric.NodeID]bool
+	closed  bool
+
+	wg sync.WaitGroup
+	st stats
+}
+
+func newBase() base {
+	return base{
+		start:   time.Now(),
+		nodes:   make(map[fabric.NodeID]*node),
+		crashed: make(map[fabric.NodeID]bool),
+		parts:   make(map[[2]fabric.NodeID]bool),
+	}
+}
+
+// Register adds a node (starting its mailbox goroutine) or replaces an
+// existing node's handler.
+func (b *base) Register(id fabric.NodeID, h fabric.Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if n, ok := b.nodes[id]; ok {
+		n.mu.Lock()
+		n.h = h
+		n.mu.Unlock()
+		return
+	}
+	n := &node{id: id, h: h}
+	n.cond = sync.NewCond(&n.mu)
+	b.nodes[id] = n
+	b.wg.Add(1)
+	go n.loop(&b.wg)
+}
+
+// lookup returns a node if registered.
+func (b *base) lookup(id fabric.NodeID) (*node, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n, ok := b.nodes[id]
+	return n, ok
+}
+
+// After schedules fn on the node's mailbox after a wall-clock delay; the
+// timer is suppressed if the node is crashed when it fires.
+func (b *base) After(id fabric.NodeID, delay time.Duration, fn func()) {
+	time.AfterFunc(delay, func() {
+		if b.Crashed(id) {
+			return
+		}
+		if n, ok := b.lookup(id); ok {
+			n.enqueue(fn)
+		}
+	})
+}
+
+// Invoke runs fn on the node's mailbox as soon as possible (even when the
+// node is crashed — drivers use it to inspect state).
+func (b *base) Invoke(id fabric.NodeID, fn func()) {
+	if n, ok := b.lookup(id); ok {
+		n.enqueue(fn)
+	}
+}
+
+// InvokeWait runs fn on the node's mailbox and blocks until it returns —
+// a convenience for drivers reading node state (flow tables, counters)
+// from outside the fabric. Calling it from the node's own mailbox would
+// self-deadlock; it is for external drivers only.
+func (b *base) InvokeWait(id fabric.NodeID, fn func()) {
+	n, ok := b.lookup(id)
+	if !ok {
+		return
+	}
+	done := make(chan struct{})
+	n.enqueue(func() {
+		fn()
+		close(done)
+	})
+	<-done
+}
+
+// Charge accounts CPU cost; live backends only track it (the real work
+// already took real time).
+func (b *base) Charge(id fabric.NodeID, cost time.Duration) {
+	if n, ok := b.lookup(id); ok {
+		n.busy.Add(int64(cost))
+	}
+}
+
+// BusyTotal returns cumulative charged CPU time.
+func (b *base) BusyTotal(id fabric.NodeID) time.Duration {
+	if n, ok := b.lookup(id); ok {
+		return time.Duration(n.busy.Load())
+	}
+	return 0
+}
+
+// Now is wall-clock time since the fabric was created.
+func (b *base) Now() fabric.Time { return time.Since(b.start) }
+
+// Crash marks a node failed: its inbound messages drop and its timers are
+// suppressed until Restart.
+func (b *base) Crash(id fabric.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.crashed[id] = true
+}
+
+// Restart clears a node's crash flag.
+func (b *base) Restart(id fabric.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.crashed, id)
+}
+
+// Partition blocks messages in both directions between a and b.
+func (b *base) Partition(x, y fabric.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parts[[2]fabric.NodeID{x, y}] = true
+	b.parts[[2]fabric.NodeID{y, x}] = true
+}
+
+// Heal removes a partition.
+func (b *base) Heal(x, y fabric.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.parts, [2]fabric.NodeID{x, y})
+	delete(b.parts, [2]fabric.NodeID{y, x})
+}
+
+// Crashed reports the node's crash flag.
+func (b *base) Crashed(id fabric.NodeID) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.crashed[id]
+}
+
+// Partitioned reports whether from -> to is blocked.
+func (b *base) Partitioned(from, to fabric.NodeID) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.parts[[2]fabric.NodeID{from, to}]
+}
+
+// Stats snapshots the traffic counters.
+func (b *base) Stats() fabric.Stats { return b.st.snapshot() }
+
+// admit applies the shared datagram drop rules (unknown, crashed,
+// partitioned destination) and counts the send. It returns the
+// destination node when the message should be delivered.
+func (b *base) admit(from, to fabric.NodeID) (*node, bool) {
+	b.st.sent.Add(1)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		b.st.droppedUnknown.Add(1)
+		return nil, false
+	}
+	if b.crashed[to] {
+		b.st.droppedCrash.Add(1)
+		return nil, false
+	}
+	if b.parts[[2]fabric.NodeID{from, to}] {
+		b.st.droppedPartition.Add(1)
+		return nil, false
+	}
+	n, ok := b.nodes[to]
+	if !ok {
+		b.st.droppedUnknown.Add(1)
+		return nil, false
+	}
+	return n, true
+}
+
+// closeNodes shuts every mailbox and waits for the goroutines to exit.
+func (b *base) closeNodes() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	nodes := make([]*node, 0, len(b.nodes))
+	for _, n := range b.nodes {
+		nodes = append(nodes, n)
+	}
+	b.mu.Unlock()
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.closed = true
+		n.mu.Unlock()
+		n.cond.Signal()
+	}
+	b.wg.Wait()
+}

@@ -1,0 +1,263 @@
+package livenet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cicero/internal/fabric"
+)
+
+// maxFrameBytes caps one wire frame. Legitimate Cicero messages are a few
+// kilobytes (the largest carry Feldman commitment vectors); anything near
+// the cap is a corrupted or hostile length prefix, and rejecting it keeps
+// a bad frame from forcing a huge allocation.
+const maxFrameBytes = 1 << 22
+
+// TCP is the live backend over localhost TCP sockets. Every registered
+// node gets its own listener on 127.0.0.1 (kernel-assigned port); senders
+// cache one outbound connection per (from, to) pair, lazily dialed, with
+// one reconnect attempt when a cached connection has gone bad. Messages
+// travel as length-prefixed wire-codec frames:
+//
+//	[4B frame length][2B sender-id length][sender id][codec bytes]
+//
+// Crash and partition state is enforced at the sending fabric (both ends
+// live in one process in the current harness, sharing that state).
+type TCP struct {
+	base
+	codec Codec
+
+	lmu       sync.Mutex
+	addrs     map[fabric.NodeID]string
+	listeners map[fabric.NodeID]net.Listener
+	conns     map[[2]fabric.NodeID]*peerConn
+	lwg       sync.WaitGroup // accept + reader goroutines
+}
+
+var _ fabric.Fabric = (*TCP)(nil)
+
+// peerConn is one cached outbound connection with serialized writes.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewTCP builds a TCP fabric; the codec is required (messages must cross
+// a real wire).
+func NewTCP(codec Codec) (*TCP, error) {
+	if codec == nil {
+		return nil, errors.New("livenet: tcp fabric requires a codec")
+	}
+	return &TCP{
+		base:      newBase(),
+		codec:     codec,
+		addrs:     make(map[fabric.NodeID]string),
+		listeners: make(map[fabric.NodeID]net.Listener),
+		conns:     make(map[[2]fabric.NodeID]*peerConn),
+	}, nil
+}
+
+// Register adds the node and opens its listener. Listener failure is
+// fatal to the node's reachability; it is reported via panic because it
+// only happens when the host is out of ports or sockets are forbidden —
+// both unrecoverable for a benchmark run.
+func (t *TCP) Register(id fabric.NodeID, h fabric.Handler) {
+	t.base.Register(id, h)
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	if _, ok := t.listeners[id]; ok {
+		return // re-registration replaces the handler only
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("livenet: listen for %s: %v", id, err))
+	}
+	t.listeners[id] = ln
+	t.addrs[id] = ln.Addr().String()
+	t.lwg.Add(1)
+	go t.acceptLoop(id, ln)
+}
+
+// Addr returns the node's listen address (for logging and the
+// multi-process deployment planned in ROADMAP.md).
+func (t *TCP) Addr(id fabric.NodeID) string {
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	return t.addrs[id]
+}
+
+// acceptLoop accepts inbound connections for one node until its listener
+// closes.
+func (t *TCP) acceptLoop(id fabric.NodeID, ln net.Listener) {
+	defer t.lwg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.lwg.Add(1)
+		go t.readLoop(id, conn)
+	}
+}
+
+// readLoop parses frames off one inbound connection and delivers them to
+// the owning node's mailbox. Any framing, length, or codec error tears
+// the connection down (the sender will reconnect).
+func (t *TCP) readLoop(to fabric.NodeID, conn net.Conn) {
+	defer t.lwg.Done()
+	defer conn.Close()
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		frameLen := binary.BigEndian.Uint32(header[:])
+		if frameLen < 2 || frameLen > maxFrameBytes {
+			t.st.droppedUnknown.Add(1)
+			return
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		fromLen := binary.BigEndian.Uint16(frame[:2])
+		if int(fromLen) > len(frame)-2 {
+			t.st.droppedUnknown.Add(1)
+			return
+		}
+		from := fabric.NodeID(frame[2 : 2+fromLen])
+		msg, err := t.codec.Decode(frame[2+fromLen:])
+		if err != nil {
+			t.st.droppedUnknown.Add(1)
+			return
+		}
+		n, ok := t.lookup(to)
+		if !ok {
+			t.st.droppedUnknown.Add(1)
+			continue
+		}
+		n.enqueue(func() {
+			t.st.delivered.Add(1)
+			n.handler().HandleMessage(from, msg)
+		})
+	}
+}
+
+// Send encodes msg and writes it to the destination's socket, dialing or
+// reconnecting as needed. Drop rules match the other backends.
+func (t *TCP) Send(from, to fabric.NodeID, msg fabric.Message, size int) {
+	if _, ok := t.admit(from, to); !ok {
+		return
+	}
+	data, err := t.codec.Encode(msg)
+	if err != nil {
+		t.st.droppedUnknown.Add(1)
+		return
+	}
+	frame := buildFrame(from, data)
+	if len(frame)-4 > maxFrameBytes {
+		t.st.droppedUnknown.Add(1)
+		return
+	}
+	if err := t.write(from, to, frame); err != nil {
+		t.st.droppedUnknown.Add(1)
+		return
+	}
+	t.st.bytes.Add(uint64(len(frame)))
+}
+
+// buildFrame assembles the length-prefixed wire frame.
+func buildFrame(from fabric.NodeID, payload []byte) []byte {
+	frameLen := 2 + len(from) + len(payload)
+	frame := make([]byte, 4+frameLen)
+	binary.BigEndian.PutUint32(frame[:4], uint32(frameLen))
+	binary.BigEndian.PutUint16(frame[4:6], uint16(len(from)))
+	copy(frame[6:], from)
+	copy(frame[6+len(from):], payload)
+	return frame
+}
+
+// write sends a frame on the cached (from, to) connection, reconnecting
+// once if the cached connection has gone bad.
+func (t *TCP) write(from, to fabric.NodeID, frame []byte) error {
+	pc, err := t.peer(from, to)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		if pc.conn, err = t.dial(to); err != nil {
+			return err
+		}
+	}
+	if _, err = pc.conn.Write(frame); err == nil {
+		return nil
+	}
+	// Reconnect once: the peer may have dropped the connection (idle
+	// teardown, a reader that hit a bad frame) without the node being
+	// down.
+	pc.conn.Close()
+	pc.conn = nil
+	conn, derr := t.dial(to)
+	if derr != nil {
+		return derr
+	}
+	if _, werr := conn.Write(frame); werr != nil {
+		conn.Close()
+		return werr
+	}
+	pc.conn = conn
+	return nil
+}
+
+// peer returns (creating if needed) the connection slot for (from, to).
+func (t *TCP) peer(from, to fabric.NodeID) (*peerConn, error) {
+	key := [2]fabric.NodeID{from, to}
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	if _, ok := t.addrs[to]; !ok {
+		return nil, fmt.Errorf("livenet: no listener for %s", to)
+	}
+	pc, ok := t.conns[key]
+	if !ok {
+		pc = &peerConn{}
+		t.conns[key] = pc
+	}
+	return pc, nil
+}
+
+// dial opens a connection to the node's current listen address.
+func (t *TCP) dial(to fabric.NodeID) (net.Conn, error) {
+	t.lmu.Lock()
+	addr, ok := t.addrs[to]
+	t.lmu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("livenet: no listener for %s", to)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// Close tears down listeners, connections, and mailboxes, then waits for
+// every fabric goroutine to exit.
+func (t *TCP) Close() {
+	t.lmu.Lock()
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	for _, pc := range t.conns {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+			pc.conn = nil
+		}
+		pc.mu.Unlock()
+	}
+	t.lmu.Unlock()
+	t.lwg.Wait()
+	t.closeNodes()
+}

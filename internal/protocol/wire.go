@@ -1,0 +1,425 @@
+package protocol
+
+// Wire codec for live transports. The discrete-event simulator passes
+// messages as Go values, so pointers (BLS points, group keys, nested bft
+// messages) travel for free; a live transport cannot do that. WireCodec
+// turns every protocol message into a self-describing frame —
+// {"t": <registered name>, "b": <body>} — and back, with explicit byte
+// encodings for the crypto types (curve points via pairing.PointBytes,
+// which rejects off-curve data on parse).
+//
+// The codec is the single serialization authority: the TCP backend frames
+// Encode's output with a length prefix, and the in-process backend can
+// optionally round-trip every message through it so codec bugs surface in
+// fast tests. Decode never panics on corrupted input (FuzzWireDecode
+// asserts this) and rejects unknown frame types, oversized nesting, and
+// malformed points.
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"cicero/internal/bft"
+	"cicero/internal/fabric"
+	"cicero/internal/openflow"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/dkg"
+	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/tcrypto/pki"
+)
+
+// wireFrame is the self-describing envelope of every encoded message.
+type wireFrame struct {
+	T string          `json:"t"`
+	B json.RawMessage `json:"b"`
+}
+
+// maxWireDepth bounds frame nesting on decode. Legitimate traffic nests
+// exactly once (MsgBFT wraps one bft message); deeper nesting is a
+// malformed or adversarial frame.
+const maxWireDepth = 3
+
+// wireEntry is one registered message type.
+type wireEntry struct {
+	name   string
+	encode func(c *WireCodec, msg fabric.Message) (json.RawMessage, error)
+	decode func(c *WireCodec, raw json.RawMessage, depth int) (fabric.Message, error)
+}
+
+// WireCodec encodes and decodes the protocol's message vocabulary.
+// Encoding needs pairing parameters to serialize curve points; both sides
+// of a connection must use the same parameter set.
+type WireCodec struct {
+	params *pairing.Params
+	byName map[string]*wireEntry
+	byType map[reflect.Type]*wireEntry
+}
+
+// NewWireCodec builds a codec over the given pairing parameters (nil
+// defaults to Fast254, the deployment default).
+func NewWireCodec(params *pairing.Params) *WireCodec {
+	if params == nil {
+		params = pairing.Fast254()
+	}
+	c := &WireCodec{
+		params: params,
+		byName: make(map[string]*wireEntry),
+		byType: make(map[reflect.Type]*wireEntry),
+	}
+	registerJSON[MsgEvent](c, "event")
+	registerJSON[MsgAck](c, "ack")
+	registerJSON[MsgUpdate](c, "update")
+	registerJSON[MsgAggUpdate](c, "agg-update")
+	registerJSON[MsgConfigShare](c, "config-share")
+	registerJSON[MsgHeartbeat](c, "heartbeat")
+	registerJSON[MsgReshareSub](c, "reshare-sub")
+	c.register(reflect.TypeOf(MsgConfig{}), "config", encodeConfig, decodeConfig)
+	c.register(reflect.TypeOf(MsgStateTransfer{}), "state-transfer", encodeStateTransfer, decodeStateTransfer)
+	c.register(reflect.TypeOf(MsgReshareDeal{}), "reshare-deal", encodeReshareDeal, decodeReshareDeal)
+	c.register(reflect.TypeOf(MsgBFT{}), "bft", encodeBFT, decodeBFT)
+	// Atomic-broadcast internals (MsgBFT's Inner).
+	registerJSON[bft.Request](c, "bft-request")
+	registerJSON[bft.PrePrepare](c, "bft-preprepare")
+	registerJSON[bft.Prepare](c, "bft-prepare")
+	registerJSON[bft.Commit](c, "bft-commit")
+	registerJSON[bft.ViewChange](c, "bft-viewchange")
+	registerJSON[bft.NewView](c, "bft-newview")
+	// Southbound OpenFlow vocabulary (bundles, barriers, packets, roles).
+	registerJSON[openflow.BundleOpen](c, "bundle-open")
+	registerJSON[openflow.BundleAdd](c, "bundle-add")
+	registerJSON[openflow.BundleCommit](c, "bundle-commit")
+	registerJSON[openflow.BarrierRequest](c, "barrier-request")
+	registerJSON[openflow.BarrierReply](c, "barrier-reply")
+	registerJSON[openflow.PacketIn](c, "packet-in")
+	registerJSON[openflow.PacketOut](c, "packet-out")
+	registerJSON[openflow.RoleRequest](c, "role-request")
+	return c
+}
+
+// register wires one entry into both lookup tables.
+func (c *WireCodec) register(t reflect.Type, name string,
+	enc func(*WireCodec, fabric.Message) (json.RawMessage, error),
+	dec func(*WireCodec, json.RawMessage, int) (fabric.Message, error)) {
+	e := &wireEntry{name: name, encode: enc, decode: dec}
+	c.byName[name] = e
+	c.byType[t] = e
+}
+
+// registerJSON registers a type whose exported fields JSON-serialize
+// faithfully (no curve points, no interface fields).
+func registerJSON[T any](c *WireCodec, name string) {
+	var zero T
+	c.register(reflect.TypeOf(zero), name,
+		func(_ *WireCodec, msg fabric.Message) (json.RawMessage, error) {
+			return json.Marshal(msg)
+		},
+		func(_ *WireCodec, raw json.RawMessage, _ int) (fabric.Message, error) {
+			var out T
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		})
+}
+
+// RegisteredTypes returns the sorted frame-type names the codec accepts
+// (tests assert full coverage against this list).
+func (c *WireCodec) RegisteredTypes() []string {
+	names := make([]string, 0, len(c.byName))
+	for name := range c.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Encode serializes msg into a self-describing frame.
+func (c *WireCodec) Encode(msg fabric.Message) ([]byte, error) {
+	e, ok := c.byType[reflect.TypeOf(msg)]
+	if !ok {
+		return nil, fmt.Errorf("protocol: wire: unregistered message type %T", msg)
+	}
+	body, err := e.encode(c, msg)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: wire: encode %s: %w", e.name, err)
+	}
+	return json.Marshal(wireFrame{T: e.name, B: body})
+}
+
+// Decode parses a frame produced by Encode. It returns an error (never
+// panics) on unknown types, malformed JSON, bad points, or over-nested
+// frames.
+func (c *WireCodec) Decode(data []byte) (fabric.Message, error) {
+	return c.decodeFrame(data, 0)
+}
+
+// decodeFrame is Decode with nesting accounting.
+func (c *WireCodec) decodeFrame(data []byte, depth int) (fabric.Message, error) {
+	if depth >= maxWireDepth {
+		return nil, fmt.Errorf("protocol: wire: frame nesting exceeds %d", maxWireDepth)
+	}
+	var f wireFrame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("protocol: wire: bad frame: %w", err)
+	}
+	e, ok := c.byName[f.T]
+	if !ok {
+		return nil, fmt.Errorf("protocol: wire: unknown frame type %q", f.T)
+	}
+	msg, err := e.decode(c, f.B, depth)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: wire: decode %s: %w", f.T, err)
+	}
+	return msg, nil
+}
+
+// ---- curve-point helpers ----
+
+// pointBytes encodes a point, with nil mapping to empty bytes.
+func (c *WireCodec) pointBytes(pt *pairing.Point) []byte {
+	if pt == nil {
+		return nil
+	}
+	return c.params.PointBytes(pt)
+}
+
+// parsePoint decodes a point, with empty bytes mapping to nil.
+func (c *WireCodec) parsePoint(data []byte) (*pairing.Point, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return c.params.ParsePoint(data)
+}
+
+// pointsBytes encodes a point slice.
+func (c *WireCodec) pointsBytes(pts []*pairing.Point) [][]byte {
+	if pts == nil {
+		return nil
+	}
+	out := make([][]byte, len(pts))
+	for i, pt := range pts {
+		out[i] = c.pointBytes(pt)
+	}
+	return out
+}
+
+// parsePoints decodes a point slice.
+func (c *WireCodec) parsePoints(raw [][]byte) ([]*pairing.Point, error) {
+	if raw == nil {
+		return nil, nil
+	}
+	out := make([]*pairing.Point, len(raw))
+	for i, b := range raw {
+		pt, err := c.parsePoint(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// wireGroupKey is the explicit encoding of *bls.GroupKey: threshold
+// parameters plus the Feldman commitments (the public key is
+// Commitments[0], but it is carried redundantly so a decoded key is usable
+// even if a future sharing drops that identity).
+type wireGroupKey struct {
+	T           int      `json:"t"`
+	N           int      `json:"n"`
+	PK          []byte   `json:"pk"`
+	Commitments [][]byte `json:"commitments"`
+}
+
+// groupKeyWire converts a group key to its wire form (nil-safe).
+func (c *WireCodec) groupKeyWire(gk *bls.GroupKey) *wireGroupKey {
+	if gk == nil {
+		return nil
+	}
+	return &wireGroupKey{
+		T:           gk.T,
+		N:           gk.N,
+		PK:          c.pointBytes(gk.PK.Point),
+		Commitments: c.pointsBytes(gk.Commitments),
+	}
+}
+
+// groupKeyFromWire converts back (nil-safe).
+func (c *WireCodec) groupKeyFromWire(w *wireGroupKey) (*bls.GroupKey, error) {
+	if w == nil {
+		return nil, nil
+	}
+	pk, err := c.parsePoint(w.PK)
+	if err != nil {
+		return nil, fmt.Errorf("group key pk: %w", err)
+	}
+	commitments, err := c.parsePoints(w.Commitments)
+	if err != nil {
+		return nil, fmt.Errorf("group key commitments: %w", err)
+	}
+	return &bls.GroupKey{
+		T:           w.T,
+		N:           w.N,
+		PK:          bls.PublicKey{Point: pk},
+		Commitments: commitments,
+	}, nil
+}
+
+// ---- custom message encodings ----
+
+// wireConfig mirrors MsgConfig with the group key in wire form.
+type wireConfig struct {
+	Phase      uint64         `json:"phase"`
+	Quorum     int            `json:"quorum"`
+	Members    []pki.Identity `json:"members,omitempty"`
+	Aggregator pki.Identity   `json:"aggregator,omitempty"`
+	GroupKey   *wireGroupKey  `json:"group_key,omitempty"`
+	Signature  []byte         `json:"signature,omitempty"`
+}
+
+func encodeConfig(c *WireCodec, msg fabric.Message) (json.RawMessage, error) {
+	m := msg.(MsgConfig)
+	gk, _ := m.GroupKey.(*bls.GroupKey)
+	return json.Marshal(wireConfig{
+		Phase:      m.Phase,
+		Quorum:     m.Quorum,
+		Members:    m.Members,
+		Aggregator: m.Aggregator,
+		GroupKey:   c.groupKeyWire(gk),
+		Signature:  m.Signature,
+	})
+}
+
+func decodeConfig(c *WireCodec, raw json.RawMessage, _ int) (fabric.Message, error) {
+	var w wireConfig
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, err
+	}
+	out := MsgConfig{
+		Phase:      w.Phase,
+		Quorum:     w.Quorum,
+		Members:    w.Members,
+		Aggregator: w.Aggregator,
+		Signature:  w.Signature,
+	}
+	gk, err := c.groupKeyFromWire(w.GroupKey)
+	if err != nil {
+		return nil, err
+	}
+	if gk != nil {
+		out.GroupKey = gk
+	}
+	return out, nil
+}
+
+// wireStateTransfer mirrors MsgStateTransfer with the group key in wire
+// form.
+type wireStateTransfer struct {
+	Phase       uint64                 `json:"phase"`
+	NewPhase    uint64                 `json:"new_phase"`
+	Members     []pki.Identity         `json:"members,omitempty"`
+	NewMembers  []pki.Identity         `json:"new_members,omitempty"`
+	GroupKey    *wireGroupKey          `json:"group_key,omitempty"`
+	PeerDomains map[int][]pki.Identity `json:"peer_domains,omitempty"`
+}
+
+func encodeStateTransfer(c *WireCodec, msg fabric.Message) (json.RawMessage, error) {
+	m := msg.(MsgStateTransfer)
+	gk, _ := m.GroupKey.(*bls.GroupKey)
+	return json.Marshal(wireStateTransfer{
+		Phase:       m.Phase,
+		NewPhase:    m.NewPhase,
+		Members:     m.Members,
+		NewMembers:  m.NewMembers,
+		GroupKey:    c.groupKeyWire(gk),
+		PeerDomains: m.PeerDomains,
+	})
+}
+
+func decodeStateTransfer(c *WireCodec, raw json.RawMessage, _ int) (fabric.Message, error) {
+	var w wireStateTransfer
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, err
+	}
+	out := MsgStateTransfer{
+		Phase:       w.Phase,
+		NewPhase:    w.NewPhase,
+		Members:     w.Members,
+		NewMembers:  w.NewMembers,
+		PeerDomains: w.PeerDomains,
+	}
+	gk, err := c.groupKeyFromWire(w.GroupKey)
+	if err != nil {
+		return nil, err
+	}
+	if gk != nil {
+		out.GroupKey = gk
+	}
+	return out, nil
+}
+
+// wireReshareDeal mirrors MsgReshareDeal with commitments as bytes.
+type wireReshareDeal struct {
+	Phase       uint64   `json:"phase"`
+	Dealer      uint32   `json:"dealer"`
+	DealerSet   []uint32 `json:"dealer_set,omitempty"`
+	Commitments [][]byte `json:"commitments,omitempty"`
+}
+
+func encodeReshareDeal(c *WireCodec, msg fabric.Message) (json.RawMessage, error) {
+	m := msg.(MsgReshareDeal)
+	w := wireReshareDeal{Phase: m.Phase}
+	if m.Deal != nil {
+		w.Dealer = m.Deal.Dealer
+		w.DealerSet = m.Deal.DealerSet
+		w.Commitments = c.pointsBytes(m.Deal.Commitments)
+	}
+	return json.Marshal(w)
+}
+
+func decodeReshareDeal(c *WireCodec, raw json.RawMessage, _ int) (fabric.Message, error) {
+	var w wireReshareDeal
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, err
+	}
+	commitments, err := c.parsePoints(w.Commitments)
+	if err != nil {
+		return nil, fmt.Errorf("reshare deal commitments: %w", err)
+	}
+	return MsgReshareDeal{
+		Phase: w.Phase,
+		Deal: &dkg.ReshareDeal{
+			Dealer:      w.Dealer,
+			DealerSet:   w.DealerSet,
+			Commitments: commitments,
+		},
+	}, nil
+}
+
+// wireBFT carries the epoch tag and the inner message as a nested frame.
+type wireBFT struct {
+	Phase uint64          `json:"phase"`
+	Inner json.RawMessage `json:"inner"`
+}
+
+func encodeBFT(c *WireCodec, msg fabric.Message) (json.RawMessage, error) {
+	m := msg.(MsgBFT)
+	inner, err := c.Encode(m.Inner)
+	if err != nil {
+		return nil, fmt.Errorf("inner: %w", err)
+	}
+	return json.Marshal(wireBFT{Phase: m.Phase, Inner: inner})
+}
+
+func decodeBFT(c *WireCodec, raw json.RawMessage, depth int) (fabric.Message, error) {
+	var w wireBFT
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, err
+	}
+	inner, err := c.decodeFrame(w.Inner, depth+1)
+	if err != nil {
+		return nil, fmt.Errorf("inner: %w", err)
+	}
+	return MsgBFT{Phase: w.Phase, Inner: inner}, nil
+}

@@ -12,16 +12,29 @@ import (
 // released. Updates belonging to different plans (different events) are
 // tracked independently and hence proceed in parallel.
 //
-// Engine is not concurrency-safe; in the discrete-event simulation each
-// controller owns one engine driven from its handlers.
+// A dependency is satisfied only when it is both acknowledged by its
+// switch and locally released. The distinction matters on live backends:
+// a switch applies an update once a quorum of the other controllers'
+// shares arrives, so a lagging controller can receive the ack for a
+// dependency it has not dispatched yet. Releasing the dependent at that
+// instant would be safe (the switch has applied the dependency) but would
+// make the release order — and therefore the audit ledger — depend on ack
+// arrival timing; deferring until the dependency is also locally released
+// keeps every controller's release order a topological order of the plan
+// on every backend.
+//
+// Engine is not concurrency-safe; each controller owns one engine driven
+// from its serial execution context.
 type Engine struct {
 	// release is invoked for every update the moment it becomes ready.
 	release func(ScheduledUpdate)
 
 	waiting    map[openflow.MsgID]*engineEntry
 	dependents map[openflow.MsgID][]openflow.MsgID
-	acked      map[openflow.MsgID]bool
-	inFlight   int
+	// released tracks updates dispatched but not yet acknowledged.
+	released map[openflow.MsgID]bool
+	acked    map[openflow.MsgID]bool
+	inFlight int
 }
 
 // engineEntry is an update still blocked on dependencies.
@@ -36,29 +49,37 @@ func NewEngine(release func(ScheduledUpdate)) *Engine {
 		release:    release,
 		waiting:    make(map[openflow.MsgID]*engineEntry),
 		dependents: make(map[openflow.MsgID][]openflow.MsgID),
+		released:   make(map[openflow.MsgID]bool),
 		acked:      make(map[openflow.MsgID]bool),
 	}
 }
 
-// Add registers a plan. Ready updates are released before Add returns;
-// the rest wait for Ack calls. Dependencies may reference updates inside
-// the plan or updates already acknowledged (e.g. from an earlier partial
-// plan); anything else is ErrUnknownDependency.
+// Add registers a plan. Ready updates are released before Add returns —
+// in topological order of the plan, so the release sequence is canonical
+// even when acks have already arrived for some of the plan (on live
+// backends a switch can apply an update via the other controllers' quorum
+// before this controller delivers the triggering event). Such pre-acked
+// updates are still released (the decision must reach the audit ledger on
+// every replica) and count as immediately satisfied. The rest wait for
+// Ack calls. Dependencies may reference updates inside the plan or
+// updates already acknowledged (e.g. from an earlier partial plan);
+// anything else is ErrUnknownDependency.
 func (e *Engine) Add(plan Plan) error {
-	if err := e.validate(plan); err != nil {
+	order, err := e.validate(plan)
+	if err != nil {
 		return err
 	}
-	for _, su := range plan {
-		e.inFlight++
+	for _, idx := range order {
+		su := plan[idx]
 		missing := make(map[openflow.MsgID]struct{})
 		for _, dep := range su.DependsOn {
-			if !e.acked[dep] {
+			if !e.satisfied(dep) {
 				missing[dep] = struct{}{}
 				e.dependents[dep] = append(e.dependents[dep], su.ID)
 			}
 		}
 		if len(missing) == 0 {
-			e.release(su)
+			e.dispatch(su)
 			continue
 		}
 		e.waiting[su.ID] = &engineEntry{update: su, missing: missing}
@@ -66,16 +87,44 @@ func (e *Engine) Add(plan Plan) error {
 	return nil
 }
 
-// validate is Validate with engine context: already-acked dependencies
-// are considered satisfied, and ids already tracked are duplicates.
-func (e *Engine) validate(plan Plan) error {
+// satisfied reports whether a dependency is acknowledged and no longer
+// tracked locally (released, or never part of a local plan).
+func (e *Engine) satisfied(dep openflow.MsgID) bool {
+	if _, waiting := e.waiting[dep]; waiting {
+		return false
+	}
+	return e.acked[dep]
+}
+
+// dispatch releases one ready update. A pre-acked update (the switch
+// already applied it via the other controllers' quorum) is satisfied the
+// moment it is released, cascading to its dependents; anything else
+// becomes in-flight until its ack arrives.
+func (e *Engine) dispatch(su ScheduledUpdate) {
+	e.release(su)
+	if e.acked[su.ID] {
+		e.satisfy(su.ID)
+		return
+	}
+	e.released[su.ID] = true
+	e.inFlight++
+}
+
+// validate is Validate with engine context, returning a topological order
+// of the plan (indices into it, plan order as the tie-break). An id that
+// is blocked or in flight locally is a duplicate; an id that is merely
+// acked is NOT — on live backends the switch can apply an update through
+// the other controllers' quorum before this controller plans it, and the
+// plan must still be accepted so the decision reaches the local ledger.
+// Already-acked out-of-plan dependencies are considered satisfied.
+func (e *Engine) validate(plan Plan) ([]int, error) {
 	index := make(map[openflow.MsgID]int, len(plan))
 	for i, su := range plan {
 		if _, dup := index[su.ID]; dup {
-			return fmt.Errorf("%w: %s", ErrDuplicateUpdate, su.ID)
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateUpdate, su.ID)
 		}
-		if _, tracked := e.waiting[su.ID]; tracked || e.acked[su.ID] {
-			return fmt.Errorf("%w: %s", ErrDuplicateUpdate, su.ID)
+		if _, blocked := e.waiting[su.ID]; blocked || e.released[su.ID] {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateUpdate, su.ID)
 		}
 		index[su.ID] = i
 	}
@@ -88,7 +137,7 @@ func (e *Engine) validate(plan Plan) error {
 				if e.acked[dep] {
 					continue // satisfied externally
 				}
-				return fmt.Errorf("%w: %s depends on %s", ErrUnknownDependency, su.ID, dep)
+				return nil, fmt.Errorf("%w: %s depends on %s", ErrUnknownDependency, su.ID, dep)
 			}
 			indeg[i]++
 			dependents[j] = append(dependents[j], i)
@@ -100,11 +149,11 @@ func (e *Engine) validate(plan Plan) error {
 			queue = append(queue, i)
 		}
 	}
-	seen := 0
+	order := make([]int, 0, len(plan))
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
-		seen++
+		order = append(order, i)
 		for _, j := range dependents[i] {
 			indeg[j]--
 			if indeg[j] == 0 {
@@ -112,23 +161,35 @@ func (e *Engine) validate(plan Plan) error {
 			}
 		}
 	}
-	if seen != len(plan) {
-		return ErrCycle
+	if len(order) != len(plan) {
+		return nil, ErrCycle
 	}
-	return nil
+	return order, nil
 }
 
 // Ack records that an update has been applied by its switch, releasing
 // any updates whose dependencies are now all satisfied. Duplicate acks
-// are ignored.
+// are ignored. An ack for an update this controller has not released yet
+// (quorum formed from the other controllers' shares) is remembered; its
+// dependents release once the update itself is released.
 func (e *Engine) Ack(id openflow.MsgID) {
 	if e.acked[id] {
 		return
 	}
 	e.acked[id] = true
-	if e.inFlight > 0 {
+	if e.released[id] {
+		delete(e.released, id)
 		e.inFlight--
+		e.satisfy(id)
 	}
+	// Otherwise the update is either still blocked locally (satisfied by
+	// dispatch when its own release fires) or not planned yet (satisfied
+	// by dispatch when the plan arrives).
+}
+
+// satisfy propagates a dependency that is now both acked and locally
+// released, cascading through pre-acked dependents.
+func (e *Engine) satisfy(id openflow.MsgID) {
 	for _, depID := range e.dependents[id] {
 		entry, ok := e.waiting[depID]
 		if !ok {
@@ -137,7 +198,7 @@ func (e *Engine) Ack(id openflow.MsgID) {
 		delete(entry.missing, id)
 		if len(entry.missing) == 0 {
 			delete(e.waiting, depID)
-			e.release(entry.update)
+			e.dispatch(entry.update)
 		}
 	}
 	delete(e.dependents, id)
@@ -149,6 +210,6 @@ func (e *Engine) Acked(id openflow.MsgID) bool { return e.acked[id] }
 // Waiting returns the number of blocked updates.
 func (e *Engine) Waiting() int { return len(e.waiting) }
 
-// InFlight returns the number of updates released or blocked but not yet
+// InFlight returns the number of updates released but not yet
 // acknowledged.
 func (e *Engine) InFlight() int { return e.inFlight }

@@ -237,13 +237,50 @@ func TestEngineAckBeforeAddSatisfiesDependency(t *testing.T) {
 	var released []string
 	e := NewEngine(func(su ScheduledUpdate) { released = append(released, su.Mod.Switch) })
 	e.Ack(updates[1].ID)
-	// The already-acked update is rejected as duplicate if re-added; add
-	// only the dependent one.
+	// A plan referencing the acked update as an external dependency is
+	// satisfied immediately.
 	if err := e.Add(plan[:1]); err != nil {
 		t.Fatal(err)
 	}
 	if len(released) != 1 || released[0] != "s0" {
 		t.Fatalf("releases = %v, want [s0]", released)
+	}
+}
+
+// TestEngineAckBeforePlanStillReleasesPlan covers the harder live-backend
+// race: the ack for an update arrives before this controller's BFT
+// delivery even creates the plan (the switch applied it via the other
+// controllers' quorum). The plan must still be accepted — the decision
+// has to reach this replica's audit ledger — and release in topological
+// order, with the pre-acked updates counting as instantly satisfied.
+func TestEngineAckBeforePlanStillReleasesPlan(t *testing.T) {
+	updates := pathUpdates(3, openflow.FlowAdd) // s0 <- s1 <- s2
+	plan := ReversePath{}.Schedule(updates)
+	var released []string
+	e := NewEngine(func(su ScheduledUpdate) { released = append(released, su.Mod.Switch) })
+	// Acks for the whole chain land before the plan exists locally.
+	e.Ack(updates[2].ID)
+	e.Ack(updates[1].ID)
+	if err := e.Add(plan); err != nil {
+		t.Fatalf("Add after early acks: %v", err)
+	}
+	// s2 and s1 release immediately (already applied), in canonical order;
+	// s0 releases too because both of its ancestors are satisfied.
+	want := []string{"s2", "s1", "s0"}
+	if len(released) != len(want) {
+		t.Fatalf("releases = %v, want %v", released, want)
+	}
+	for i := range want {
+		if released[i] != want[i] {
+			t.Fatalf("releases = %v, want %v", released, want)
+		}
+	}
+	if e.InFlight() != 1 || e.Waiting() != 0 {
+		t.Fatalf("inflight=%d waiting=%d, want 1/0 (only s0 unacked)", e.InFlight(), e.Waiting())
+	}
+	e.Ack(updates[0].ID)
+	if e.InFlight() != 0 || e.Waiting() != 0 {
+		t.Fatalf("engine not drained: inflight=%d waiting=%d", e.InFlight(), e.Waiting())
 	}
 }
 
@@ -258,5 +295,42 @@ func BenchmarkEngineChain100(b *testing.B) {
 		for j := len(updates) - 1; j >= 0; j-- {
 			e.Ack(updates[j].ID)
 		}
+	}
+}
+
+// TestEngineEarlyAckDefersToLocalRelease covers the live-backend race: a
+// switch applies an update once a quorum of OTHER controllers' shares
+// arrives, so this controller can receive the ack for an update it has
+// not released yet. The dependent must not jump the queue — release order
+// stays a topological order of the plan regardless of ack arrival order.
+func TestEngineEarlyAckDefersToLocalRelease(t *testing.T) {
+	updates := pathUpdates(3, openflow.FlowAdd) // s0 <- s1 <- s2 (reverse path)
+	plan := ReversePath{}.Schedule(updates)
+	var released []string
+	e := NewEngine(func(su ScheduledUpdate) { released = append(released, su.Mod.Switch) })
+	if err := e.Add(plan); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	// Acks arrive out of order: the middle update (s1) is acknowledged
+	// before this controller has released it. s0 must NOT release yet.
+	e.Ack(updates[1].ID)
+	if len(released) != 1 {
+		t.Fatalf("dependent released on early ack: %v", released)
+	}
+	// s2's ack releases s1; s1 is already acked, so s0 cascades
+	// immediately. Canonical order restored.
+	e.Ack(updates[2].ID)
+	want := []string{"s2", "s1", "s0"}
+	if len(released) != 3 {
+		t.Fatalf("releases = %v, want %v", released, want)
+	}
+	for i := range want {
+		if released[i] != want[i] {
+			t.Fatalf("releases = %v, want %v", released, want)
+		}
+	}
+	e.Ack(updates[0].ID)
+	if e.InFlight() != 0 || e.Waiting() != 0 {
+		t.Fatalf("engine not drained: inflight=%d waiting=%d", e.InFlight(), e.Waiting())
 	}
 }

@@ -3,7 +3,13 @@ package simnet
 import (
 	"fmt"
 	"time"
+
+	"cicero/internal/fabric"
 )
+
+// Network implements the fabric seam: the same protocol code that runs
+// here on virtual time runs on the live backends of internal/livenet.
+var _ fabric.Fabric = (*Network)(nil)
 
 // LatencyFunc returns the one-way propagation latency between two nodes.
 type LatencyFunc func(from, to NodeID) time.Duration
@@ -90,6 +96,16 @@ func NewNetwork(sim *Simulator, defaultLatency time.Duration) *Network {
 
 // Sim returns the underlying simulator.
 func (n *Network) Sim() *Simulator { return n.sim }
+
+// Now returns the current virtual time (fabric clock).
+func (n *Network) Now() Time { return n.sim.Now() }
+
+// Invoke schedules fn at the current virtual time on the simulator loop,
+// where every node handler also runs. It executes during Run, serially
+// with the node's message handling (the fabric contract).
+func (n *Network) Invoke(id NodeID, fn func()) {
+	n.sim.At(n.sim.Now(), fn)
+}
 
 // Register adds a node with its message handler. Registering an existing
 // id replaces its handler (used when a controller restarts).
@@ -308,16 +324,7 @@ func (n *Network) After(id NodeID, delay time.Duration, fn func()) {
 // Stats summarizes traffic counters. Dropped is the total; the Dropped*
 // fields break it out by cause (crashed destination, partitioned link,
 // unregistered destination, chaos-filter injection).
-type Stats struct {
-	Sent             uint64
-	Delivered        uint64
-	Dropped          uint64
-	Bytes            uint64
-	DroppedCrash     uint64
-	DroppedPartition uint64
-	DroppedUnknown   uint64
-	DroppedInjected  uint64
-}
+type Stats = fabric.Stats
 
 // Stats returns a snapshot of traffic counters.
 func (n *Network) Stats() Stats {

@@ -22,29 +22,25 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"cicero/internal/fabric"
 )
 
 // Time is virtual time since simulation start.
 type Time = time.Duration
 
-// NodeID names a simulated node (switch, controller, host).
-type NodeID string
+// NodeID names a simulated node (switch, controller, host). It is the
+// fabric-wide node id: simnet is one fabric.Fabric backend.
+type NodeID = fabric.NodeID
 
 // Message is an opaque protocol message. Handlers type-switch on it.
-type Message any
+type Message = fabric.Message
 
 // Handler processes messages delivered to a node.
-type Handler interface {
-	HandleMessage(from NodeID, msg Message)
-}
+type Handler = fabric.Handler
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(from NodeID, msg Message)
-
-// HandleMessage calls f.
-func (f HandlerFunc) HandleMessage(from NodeID, msg Message) { f(from, msg) }
-
-var _ Handler = (HandlerFunc)(nil)
+type HandlerFunc = fabric.HandlerFunc
 
 // event is a scheduled callback.
 type event struct {
