@@ -8,6 +8,14 @@
 //	cicero-chaos -profile mixed -seeds 200            # campaign
 //	cicero-chaos -profile mixed -replay 17            # replay one seed
 //	cicero-chaos -profile byzantine -canary -seeds 10 # prove the checker
+//	cicero-chaos -profile mixed -live inproc -seeds 3 # wall-clock faults
+//
+// With -live, the same fault families run wall-clock on a live backend
+// (in-process channels or localhost TCP) and the invariant plane shifts to
+// convergence checks: crashed nodes restart and must provably
+// resynchronize, and the quiesced state must match a fault-free simnet
+// reference. Live runs are not bit-reproducible; seeds fix what is
+// injected, not how it interleaves, so there is no -replay for them.
 //
 // Exit status is 1 when any invariant violation (or run error) occurred,
 // 0 otherwise — except with -canary, where catching the planted mutation
@@ -40,6 +48,9 @@ func run() int {
 		replay      = flag.Int64("replay", -1, "replay a single seed with full trace output")
 		canary      = flag.Bool("canary", false, "plant the verification-bypass mutation (the checker must catch it)")
 		verbose     = flag.Bool("v", false, "per-seed progress lines")
+		live        = flag.String("live", "", "run wall-clock on a live backend: inproc | tcp (empty = simulator)")
+		flowWindow  = flag.Int("flow-window-ms", 0, "live: wall-clock fault/flow window in ms (0 = default)")
+		drainSecs   = flag.Int("drain-s", 0, "live: drain/convergence timeout in seconds (0 = default)")
 	)
 	flag.Parse()
 
@@ -61,6 +72,19 @@ func run() int {
 		p.Controllers = *controllers
 	}
 	p.CanarySkipVerify = *canary
+
+	if *live != "" {
+		if *replay >= 0 {
+			fmt.Fprintln(os.Stderr, "cicero-chaos: -replay is simulator-only (live runs are not bit-reproducible)")
+			return 2
+		}
+		opt := chaos.LiveOptions{
+			Backend:      *live,
+			FlowWindow:   time.Duration(*flowWindow) * time.Millisecond,
+			DrainTimeout: time.Duration(*drainSecs) * time.Second,
+		}
+		return runLive(p, opt, *seedStart, *seeds, *canary, *verbose)
+	}
 
 	if *replay >= 0 {
 		return replaySeed(p, *replay, *canary)
@@ -141,6 +165,55 @@ func replaySeed(p chaos.Profile, seed int64, canary bool) int {
 		return 0
 	}
 	return 1
+}
+
+// runLive executes seeds sequentially on a live backend (wall-clock runs
+// contend for the same cores, so parallel seeds would perturb each other)
+// and applies the same exit-code semantics as the campaign.
+func runLive(p chaos.Profile, opt chaos.LiveOptions, seedStart int64, seeds int, canary bool, verbose bool) int {
+	violations, errs, caught := 0, 0, 0
+	start := time.Now()
+	for i := 0; i < seeds; i++ {
+		o := opt
+		o.Seed = seedStart + int64(i)
+		res := chaos.RunLiveSeed(p, o)
+		violations += len(res.Violations)
+		if res.Err != "" {
+			errs++
+		}
+		if verbose || len(res.Violations) > 0 || res.Err != "" {
+			status := "ok"
+			if len(res.Violations) > 0 {
+				status = fmt.Sprintf("VIOLATIONS=%d", len(res.Violations))
+			} else if res.Err != "" {
+				status = "err=" + res.Err
+			}
+			fmt.Printf("[%d/%d] live=%s seed=%d flows=%d/%d ctl-restarts=%d(recovered %d) sw-restarts=%d tableMatch=%v wall=%v %s\n",
+				i+1, seeds, res.Backend, res.Seed, res.FlowsDone, res.FlowsTotal,
+				res.CtlRestarts, res.CtlRecovered, res.SwitchRestarts, res.TableMatch,
+				res.Wall.Round(time.Millisecond), status)
+		}
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+			if v.Invariant == chaos.InvNoForgedRule {
+				caught++
+			}
+		}
+	}
+	fmt.Printf("live %s: profile=%s seeds=%d violations=%d errs=%d wall=%v\n",
+		opt.Backend, p.Name, seeds, violations, errs, time.Since(start).Round(time.Millisecond))
+	if canary {
+		if caught == 0 {
+			fmt.Println("CANARY MISSED: verification bypass was not detected on the live backend")
+			return 1
+		}
+		fmt.Printf("canary caught: %d forged-rule violations\n", caught)
+		return 0
+	}
+	if violations > 0 || errs > 0 {
+		return 1
+	}
+	return 0
 }
 
 func canaryFlag(on bool) string {

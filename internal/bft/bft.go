@@ -115,11 +115,16 @@ type PreparedEntry struct {
 }
 
 // ViewChange votes to move to a new view, carrying prepared entries that
-// the new primary must re-propose.
+// the new primary must re-propose and the voter's delivery watermark
+// (the highest contiguously delivered sequence). The watermark keeps a
+// lagging primary from re-assigning sequences its peers already
+// delivered — PBFT's checkpoint high-water mark, collapsed to a single
+// counter.
 type ViewChange struct {
-	NewView  uint64
-	Replica  ReplicaID
-	Prepared []PreparedEntry
+	NewView       uint64
+	Replica       ReplicaID
+	Prepared      []PreparedEntry
+	LastDelivered uint64
 }
 
 // NewView announces the new primary's takeover with re-proposals.
@@ -422,8 +427,8 @@ func (r *Replica) deliverReady() {
 		r.timeoutScale = 0
 		r.dropPendingOwn(s.payload)
 		delete(r.pendingForeign, s.digest)
-		if r.cfg.Deliver != nil {
-			r.cfg.Deliver(next, s.payload)
+		if r.cfg.Deliver != nil && len(s.payload) > 0 {
+			r.cfg.Deliver(next, s.payload) // null requests advance the sequence silently
 		}
 		r.gc()
 	}
@@ -497,7 +502,7 @@ func (r *Replica) startViewChange(newView uint64) {
 	if newView <= r.view {
 		return
 	}
-	vc := ViewChange{NewView: newView, Replica: r.cfg.ID, Prepared: r.preparedEntries()}
+	vc := ViewChange{NewView: newView, Replica: r.cfg.ID, Prepared: r.preparedEntries(), LastDelivered: r.lastDelivered}
 	r.broadcast(vc)
 	r.handleViewChange(vc)
 	r.armTimer()
@@ -548,21 +553,37 @@ func (r *Replica) becomePrimary(view uint64, votes map[ReplicaID]*ViewChange) {
 			merged[e.Seq] = e
 		}
 	}
-	var pps []PrePrepare
-	maxSeq := r.lastDelivered
-	seqs := make([]uint64, 0, len(merged))
-	for seq := range merged {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, seq := range seqs {
-		if seq <= r.lastDelivered {
-			continue
+	// Never sequence below the view-change quorum's delivery watermark: a
+	// primary that lags (or lost slots to gc) would otherwise re-assign
+	// sequences its peers already delivered — they refuse the conflicting
+	// pre-prepare and the view stalls, while replicas equally far behind
+	// would accept and deliver diverging content.
+	watermark := r.lastDelivered
+	for _, vc := range votes {
+		if vc.LastDelivered > watermark {
+			watermark = vc.LastDelivered
 		}
-		e := merged[seq]
-		pps = append(pps, PrePrepare{View: view, Seq: seq, Digest: e.Digest, Payload: e.Payload})
+	}
+	// The new view's proposals must be gap-free above the watermark:
+	// delivery is strictly sequential and nextSeq only moves forward, so a
+	// sequence no vote had prepared that sits below a prepared entry would
+	// never be re-proposed by anyone and the group would wedge at it
+	// forever (a partition can strand a proposal below quorum at exactly
+	// such a sequence). Fill the holes with null requests — PBFT's
+	// new-view construction — which deliver as empty payloads consumers
+	// ignore.
+	maxSeq := watermark
+	for seq := range merged {
 		if seq > maxSeq {
 			maxSeq = seq
+		}
+	}
+	var pps []PrePrepare
+	for seq := watermark + 1; seq <= maxSeq; seq++ {
+		if e, ok := merged[seq]; ok {
+			pps = append(pps, PrePrepare{View: view, Seq: seq, Digest: e.Digest, Payload: e.Payload})
+		} else {
+			pps = append(pps, PrePrepare{View: view, Seq: seq, Digest: digestOf(nil)})
 		}
 	}
 	r.nextSeq = maxSeq
@@ -632,3 +653,35 @@ func (r *Replica) resetUndelivered() {
 
 // LastDelivered returns the highest contiguously delivered sequence.
 func (r *Replica) LastDelivered() uint64 { return r.lastDelivered }
+
+// SyncTo fast-forwards a freshly restarted replica to externally learned
+// coordinates: the group's view and the last sequence the caller has
+// already applied through state transfer. It is monotonic — stale calls
+// are no-ops — and marks the transferred payload digests as sequenced so
+// a later primariness does not re-propose them. Slots at or below the new
+// delivery horizon are dropped; the group's normal retransmission paths
+// (view changes, pending-own rebroadcast) fill anything above it.
+func (r *Replica) SyncTo(view, lastDelivered uint64, digests []Digest) {
+	if view > r.view {
+		r.view = view
+		// Stale per-view agreement state from before the jump can never
+		// complete; clear it so the digests become proposable in the new
+		// view.
+		r.resetUndelivered()
+	}
+	if lastDelivered > r.lastDelivered {
+		r.lastDelivered = lastDelivered
+		for seq := range r.slots {
+			if seq <= lastDelivered {
+				delete(r.slots, seq)
+			}
+		}
+	}
+	if lastDelivered > r.nextSeq {
+		r.nextSeq = lastDelivered
+	}
+	for _, d := range digests {
+		r.sequenced[d] = true
+	}
+	r.gc()
+}

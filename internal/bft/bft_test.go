@@ -15,6 +15,7 @@ type cluster struct {
 	replicas map[ReplicaID]*Replica
 	queue    []envelope
 	crashed  map[ReplicaID]bool
+	cut      map[ReplicaID]bool
 	timers   []timerEntry
 	// delivered[id] is the ordered payload log of each replica.
 	delivered map[ReplicaID][][]byte
@@ -45,6 +46,7 @@ func newCluster(t *testing.T, mode Mode, n int, timeout time.Duration) *cluster 
 		t:         t,
 		replicas:  make(map[ReplicaID]*Replica),
 		crashed:   make(map[ReplicaID]bool),
+		cut:       make(map[ReplicaID]bool),
 		delivered: make(map[ReplicaID][][]byte),
 	}
 	ids := make([]ReplicaID, n)
@@ -83,7 +85,7 @@ func (c *cluster) pump() {
 		}
 		env := c.queue[0]
 		c.queue = c.queue[1:]
-		if c.crashed[env.to] {
+		if c.crashed[env.to] || c.cut[env.to] || c.cut[env.from] {
 			continue
 		}
 		c.replicas[env.to].Handle(env.from, env.msg)
@@ -100,6 +102,12 @@ func (c *cluster) fireTimers() {
 		}
 	}
 	c.pump()
+}
+
+// isolate partitions a replica away from the group (or heals it). Unlike
+// crash, the replica stays alive and keeps its state.
+func (c *cluster) isolate(id ReplicaID, cut bool) {
+	c.cut[id] = cut
 }
 
 // crash fails a replica.
@@ -245,6 +253,46 @@ func TestEquivocatingPrimaryCannotSplitOrder(t *testing.T) {
 				t.Fatal("split delivery")
 			}
 		}
+	}
+}
+
+// TestViewChangeFillsSequenceGaps reproduces a partition stranding the
+// primary's first proposals below the prepare quorum: later proposals
+// prepare at higher sequence numbers, gap-free delivery wedges below them,
+// and no replica would ever re-propose the stranded sequences (nextSeq only
+// moves forward). The next view's primary must fill the uncovered sequences
+// with null requests — which advance delivery silently — or the group
+// wedges forever.
+func TestViewChangeFillsSequenceGaps(t *testing.T) {
+	c := newCluster(t, ModeByzantine, 4, 50*time.Millisecond)
+	// Partition replicas 3 and 4 away; seqs 1-2 reach only replica 2 and
+	// stall at two prepares, one short of the quorum.
+	c.isolate(3, true)
+	c.isolate(4, true)
+	c.replicas[1].Submit([]byte("a"))
+	c.replicas[1].Submit([]byte("b"))
+	c.pump()
+	// Heal the partition. The next proposal takes seq 3 and prepares (and
+	// commits) everywhere, but nothing can deliver across the gap at 1-2.
+	c.isolate(3, false)
+	c.isolate(4, false)
+	c.replicas[1].Submit([]byte("c"))
+	c.pump()
+	for id := range c.replicas {
+		if n := len(c.delivered[id]); n != 0 {
+			t.Fatalf("replica %d delivered %d payloads across the sequence gap", id, n)
+		}
+	}
+	// First timeout: the stuck submitter rebroadcasts its requests (arming
+	// the peers' timers) and votes for a view change. Second timeout: the
+	// peers vote too, the quorum forms, and the new primary re-proposes the
+	// surviving seq-3 entry behind null requests for seqs 1-2. The stranded
+	// payloads then resubmit through the normal request path.
+	c.fireTimers()
+	c.fireTimers()
+	c.checkAgreement(3)
+	if !bytes.Equal(c.delivered[2][0], []byte("c")) {
+		t.Fatalf("first delivery %q, want the prepared entry %q", c.delivered[2][0], "c")
 	}
 }
 

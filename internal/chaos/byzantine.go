@@ -28,10 +28,10 @@ func (r *run) scheduleByzantine() {
 		dst := r.hosts[r.rng.Intn(len(r.hosts))]
 		kind := r.rng.Intn(3)
 		seq := uint64(i + 1)
-		sig := garbageBytes(r, 33)
+		sig := garbageBytes(r.rng, 33)
 		shareSigs := make([][]byte, quorum)
 		for j := range shareSigs {
-			shareSigs[j] = garbageBytes(r, 33)
+			shareSigs[j] = garbageBytes(r.rng, 33)
 		}
 		n.Sim.At(at, func() {
 			id := openflow.MsgID{Origin: "byz/forge", Seq: seq}

@@ -3,6 +3,7 @@ package chaos
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"cicero/internal/bft"
@@ -111,63 +112,82 @@ func (in *injector) byzMutate(to simnet.NodeID, msg simnet.Message) simnet.Messa
 	r := in.r
 	switch m := msg.(type) {
 	case protocol.MsgUpdate:
-		if r.rng.Float64() >= byzMutateProb {
+		out, kind := byzMutateUpdate(r.rng, len(r.ctls), m)
+		if kind == "" {
 			return nil
 		}
-		switch r.rng.Intn(3) {
-		case 0: // garbage share bytes
-			m.Share = garbageBytes(r, len(m.Share))
-			r.counter.Add("byz-bad-share", 1)
-			r.tr.Add(r.net.Sim.Now(), "byz-bad-share", fmt.Sprintf("->%s %s", to, m.UpdateID))
-		case 1: // claim another controller's share index
-			m.ShareIndex = m.ShareIndex%uint32(len(r.ctls)) + 1
-			r.counter.Add("byz-wrong-index", 1)
-			r.tr.Add(r.net.Sim.Now(), "byz-wrong-index", fmt.Sprintf("->%s %s", to, m.UpdateID))
-		default: // stale-epoch share
-			m.Phase += 1000
-			r.counter.Add("byz-stale-phase", 1)
-			r.tr.Add(r.net.Sim.Now(), "byz-stale-phase", fmt.Sprintf("->%s %s", to, m.UpdateID))
-		}
-		return m
+		r.counter.Add(kind, 1)
+		r.tr.Add(r.net.Sim.Now(), kind, fmt.Sprintf("->%s %s", to, out.UpdateID))
+		return out
 	case protocol.MsgBFT:
-		pp, ok := m.Inner.(bft.PrePrepare)
-		if !ok || r.rng.Float64() >= byzMutateProb {
+		out, kind := byzMutateBFT(r.rng, r.hosts, &in.forgeSeq, m)
+		if kind == "" {
 			return nil
 		}
-		// Equivocate: propose a different (well-formed) payload to this
-		// receiver, with a digest that matches the forged payload so only
-		// the agreement protocol itself can catch the lie. The forged
-		// event names real hosts: if it ever got ordered it would install
-		// consistent rules, so any invariant violation it caused would be
-		// the protocol's fault, not malformed input.
-		in.forgeSeq++
-		ev := protocol.Event{
-			ID:   openflow.MsgID{Origin: "byz/equiv", Seq: in.forgeSeq},
-			Kind: protocol.EventFlowRequest,
-			Src:  r.hosts[r.rng.Intn(len(r.hosts))],
-			Dst:  r.hosts[r.rng.Intn(len(r.hosts))],
-		}
-		payload, err := json.Marshal(protocol.BroadcastItem{Event: &ev, Phase: m.Phase})
-		if err != nil {
-			return nil
-		}
-		pp.Payload = payload
-		pp.Digest = bft.PayloadDigest(payload)
-		m.Inner = pp
-		r.counter.Add("byz-equivocate", 1)
-		r.tr.Add(r.net.Sim.Now(), "byz-equivocate", fmt.Sprintf("->%s seq=%d", to, pp.Seq))
-		return m
+		pp := out.Inner.(bft.PrePrepare)
+		r.counter.Add(kind, 1)
+		r.tr.Add(r.net.Sim.Now(), kind, fmt.Sprintf("->%s seq=%d", to, pp.Seq))
+		return out
 	}
 	return nil
 }
 
+// byzMutateUpdate applies one of the share mutations (garbage bytes, a
+// stolen share index, a stale epoch), drawing the gate and the choice from
+// rng in a fixed order so seeded runs stay deterministic. It returns the
+// (possibly mutated) message and the mutation kind ("" = untouched).
+func byzMutateUpdate(rng *rand.Rand, nctls int, m protocol.MsgUpdate) (protocol.MsgUpdate, string) {
+	if rng.Float64() >= byzMutateProb {
+		return m, ""
+	}
+	switch rng.Intn(3) {
+	case 0: // garbage share bytes
+		m.Share = garbageBytes(rng, len(m.Share))
+		return m, "byz-bad-share"
+	case 1: // claim another controller's share index
+		m.ShareIndex = m.ShareIndex%uint32(nctls) + 1
+		return m, "byz-wrong-index"
+	default: // stale-epoch share
+		m.Phase += 1000
+		return m, "byz-stale-phase"
+	}
+}
+
+// byzMutateBFT equivocates on a PrePrepare: it proposes a different
+// (well-formed) payload to this receiver, with a digest that matches the
+// forged payload so only the agreement protocol itself can catch the lie.
+// The forged event names real hosts: if it ever got ordered it would
+// install consistent rules, so any invariant violation it caused would be
+// the protocol's fault, not malformed input.
+func byzMutateBFT(rng *rand.Rand, hosts []string, forgeSeq *uint64, m protocol.MsgBFT) (protocol.MsgBFT, string) {
+	pp, ok := m.Inner.(bft.PrePrepare)
+	if !ok || rng.Float64() >= byzMutateProb {
+		return m, ""
+	}
+	*forgeSeq++
+	ev := protocol.Event{
+		ID:   openflow.MsgID{Origin: "byz/equiv", Seq: *forgeSeq},
+		Kind: protocol.EventFlowRequest,
+		Src:  hosts[rng.Intn(len(hosts))],
+		Dst:  hosts[rng.Intn(len(hosts))],
+	}
+	payload, err := json.Marshal(protocol.BroadcastItem{Event: &ev, Phase: m.Phase})
+	if err != nil {
+		return m, ""
+	}
+	pp.Payload = payload
+	pp.Digest = bft.PayloadDigest(payload)
+	m.Inner = pp
+	return m, "byz-equivocate"
+}
+
 // garbageBytes returns n deterministic pseudo-random bytes (not a valid
 // curve point with overwhelming probability).
-func garbageBytes(r *run, n int) []byte {
+func garbageBytes(rng *rand.Rand, n int) []byte {
 	if n == 0 {
 		n = 33
 	}
 	out := make([]byte, n)
-	r.rng.Read(out)
+	rng.Read(out)
 	return out
 }

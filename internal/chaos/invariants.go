@@ -3,6 +3,7 @@ package chaos
 import (
 	"crypto/sha256"
 	"fmt"
+	"sort"
 
 	"cicero/internal/audit"
 	"cicero/internal/controlplane"
@@ -148,16 +149,23 @@ func (ck *checker) refreshLegit() {
 // probeSrc is the concrete source used to walk wildcard-source rules.
 const probeSrc = "chaos-probe"
 
-// checkDataPlane walks every installed output rule to its destination:
-// each hop must find a covering rule (blackhole freedom), never revisit a
-// switch (loop freedom), and terminate at exactly the rule's destination
-// (path consistency). Under reverse-path scheduling these hold at every
-// instant, not just at quiescence: a rule is installed only after its
-// downstream suffix acked.
-func (ck *checker) checkDataPlane() {
-	r := ck.r
-	for _, swID := range r.switches {
-		for _, rule := range r.net.Switches[swID].Table().Rules() {
+// reportFn records one violation; implementations deduplicate.
+type reportFn func(invariant, dedupKey, detail, traceToken string)
+
+// walkTables walks every installed output rule to its destination over the
+// given flow tables: each hop must find a covering rule (blackhole
+// freedom), never revisit a switch (loop freedom), and terminate at
+// exactly the rule's destination (path consistency). The tables may be the
+// simulator's own (safe on the sim loop) or a quiesced snapshot taken from
+// a live fabric — the convergence checks share this one walker.
+func walkTables(tables map[string]*openflow.FlowTable, hosts map[string]bool, report reportFn) {
+	ids := make([]string, 0, len(tables))
+	for id := range tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, swID := range ids {
+		for _, rule := range tables[swID].Rules() {
 			if rule.Action.Type != openflow.ActionOutput {
 				continue
 			}
@@ -169,31 +177,31 @@ func (ck *checker) checkDataPlane() {
 			if src == openflow.Wildcard {
 				src = probeSrc
 			}
-			ck.walk(swID, src, dst)
+			walkTable(tables, hosts, swID, src, dst, report)
 		}
 	}
 }
 
-// walk follows the forwarding chain for (src, dst) starting at sw.
-func (ck *checker) walk(sw, src, dst string) {
+// walkTable follows the forwarding chain for (src, dst) starting at sw.
+func walkTable(tables map[string]*openflow.FlowTable, hosts map[string]bool, sw, src, dst string, report reportFn) {
 	visited := map[string]bool{}
 	cur := sw
 	for {
 		if visited[cur] {
-			ck.report(InvLoopFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+			report(InvLoopFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
 				fmt.Sprintf("forwarding loop for dst %s revisits %s (entered at %s)", dst, cur, sw), dst)
 			return
 		}
 		visited[cur] = true
-		node := ck.r.net.Switches[cur]
-		if node == nil {
-			ck.report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+		table := tables[cur]
+		if table == nil {
+			report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
 				fmt.Sprintf("rule chain for dst %s forwards to unknown node %s (entered at %s)", dst, cur, sw), dst)
 			return
 		}
-		rule, ok := node.Lookup(src, dst)
+		rule, ok := table.Lookup(src, dst)
 		if !ok {
-			ck.report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+			report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
 				fmt.Sprintf("blackhole: %s has no rule for dst %s (chain entered at %s)", cur, dst, sw), dst)
 			return
 		}
@@ -201,9 +209,9 @@ func (ck *checker) walk(sw, src, dst string) {
 			return // an explicit drop is policy, not a blackhole
 		}
 		next := rule.Action.NextHop
-		if ck.hosts[next] {
+		if hosts[next] {
 			if next != dst {
-				ck.report(InvPathConsistency, fmt.Sprintf("%s|%s|%s", sw, next, dst),
+				report(InvPathConsistency, fmt.Sprintf("%s|%s|%s", sw, next, dst),
 					fmt.Sprintf("packet for %s delivered to %s (chain entered at %s)", dst, next, sw), dst)
 			}
 			return
@@ -212,28 +220,44 @@ func (ck *checker) walk(sw, src, dst string) {
 	}
 }
 
-// checkAgreement compares honest controllers' event ledgers pairwise: the
-// shorter must be a prefix of the longer (same events, same order). Only
-// KindEvent records participate: they are appended in atomic-broadcast
-// delivery order, which the protocol totally orders; KindUpdate records
-// interleave with ack arrival and legitimately differ across controllers.
-func (ck *checker) checkAgreement() {
-	honest := ck.honestControllers()
-	type entry struct {
-		subject string
-		digest  [32]byte
+// checkDataPlane runs the walk invariants over the live simulator tables.
+// Under reverse-path scheduling these hold at every instant, not just at
+// quiescence: a rule is installed only after its downstream suffix acked.
+func (ck *checker) checkDataPlane() {
+	tables := make(map[string]*openflow.FlowTable, len(ck.r.switches))
+	for _, swID := range ck.r.switches {
+		tables[swID] = ck.r.net.Switches[swID].Table()
 	}
-	ledgers := make([][]entry, len(honest))
-	for i, c := range honest {
-		for _, rec := range c.AuditRecords() {
-			if rec.Kind != audit.KindEvent {
-				continue
-			}
-			ledgers[i] = append(ledgers[i], entry{rec.Subject, sha256.Sum256(rec.Canonical)})
+	walkTables(tables, ck.hosts, ck.report)
+}
+
+// ledgerEntry is one KindEvent audit record reduced for comparison.
+type ledgerEntry struct {
+	subject string
+	digest  [32]byte
+}
+
+// eventLedger extracts the comparison view of one controller's ledger:
+// its KindEvent records, in append (= broadcast delivery) order.
+func eventLedger(recs []audit.Record) []ledgerEntry {
+	var out []ledgerEntry
+	for _, rec := range recs {
+		if rec.Kind != audit.KindEvent {
+			continue
 		}
+		out = append(out, ledgerEntry{rec.Subject, sha256.Sum256(rec.Canonical)})
 	}
-	for i := 0; i < len(honest); i++ {
-		for j := i + 1; j < len(honest); j++ {
+	return out
+}
+
+// compareEventLedgers checks pairwise prefix agreement: the shorter ledger
+// must be a prefix of the longer (same events, same order). Only KindEvent
+// records participate: they are appended in atomic-broadcast delivery
+// order, which the protocol totally orders; KindUpdate records interleave
+// with ack arrival and legitimately differ across controllers.
+func compareEventLedgers(ids []string, ledgers [][]ledgerEntry, report reportFn) {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
 			a, b := ledgers[i], ledgers[j]
 			m := len(a)
 			if len(b) < m {
@@ -241,14 +265,26 @@ func (ck *checker) checkAgreement() {
 			}
 			for k := 0; k < m; k++ {
 				if a[k] != b[k] {
-					ck.report(InvBFTAgreement,
-						fmt.Sprintf("%s|%s|%d", honest[i].ID(), honest[j].ID(), k),
+					report(InvBFTAgreement,
+						fmt.Sprintf("%s|%s|%d", ids[i], ids[j], k),
 						fmt.Sprintf("controllers %s and %s diverge at delivery %d: %s vs %s",
-							honest[i].ID(), honest[j].ID(), k, a[k].subject, b[k].subject),
+							ids[i], ids[j], k, a[k].subject, b[k].subject),
 						a[k].subject)
 					break
 				}
 			}
 		}
 	}
+}
+
+// checkAgreement compares honest controllers' event ledgers pairwise.
+func (ck *checker) checkAgreement() {
+	honest := ck.honestControllers()
+	ids := make([]string, len(honest))
+	ledgers := make([][]ledgerEntry, len(honest))
+	for i, c := range honest {
+		ids[i] = string(c.ID())
+		ledgers[i] = eventLedger(c.AuditRecords())
+	}
+	compareEventLedgers(ids, ledgers, ck.report)
 }

@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLiveDebugSeed is a manual debugging harness: run with
+// CHAOS_DEBUG_SEED=<n> to replay one live seed with CLI-default options
+// and dump the trace tail. Skipped otherwise.
+func TestLiveDebugSeed(t *testing.T) {
+	env := os.Getenv("CHAOS_DEBUG_SEED")
+	if env == "" {
+		t.Skip("set CHAOS_DEBUG_SEED to run")
+	}
+	seed, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MixedProfile()
+	p.RacksPerPod = 2
+	p.Flows = 6
+	res := RunLiveSeed(p, LiveOptions{Backend: "inproc", Seed: seed})
+	t.Logf("flows=%d/%d ctl-restarts=%d recovered=%d sw-restarts=%d tableMatch=%v resyncProven=%v err=%q wall=%v",
+		res.FlowsDone, res.FlowsTotal, res.CtlRestarts, res.CtlRecovered,
+		res.SwitchRestarts, res.TableMatch, res.ResyncProven, res.Err, res.Wall.Round(time.Millisecond))
+	for _, v := range res.Violations {
+		t.Logf("violation: %s", v)
+	}
+	dumpBFT := os.Getenv("CHAOS_DEBUG_BFT") != ""
+	for _, e := range res.Trace.Events() {
+		s := e.String()
+		if strings.Contains(s, "crash") || strings.Contains(s, "restart") ||
+			strings.Contains(s, "recover") || strings.Contains(s, "drain") ||
+			strings.Contains(s, "Recover") || strings.Contains(s, "ledger") ||
+			(dumpBFT && e.Kind == "bft") {
+			t.Logf("%s", s)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// liveTestProfile shrinks a profile so a wall-clock run with real crypto
+// stays CI-friendly.
+func liveTestProfile(p Profile, flows int) Profile {
+	p.RacksPerPod = 2
+	p.HostsPerRack = 2
+	p.Flows = flows
+	return p
+}
+
+func liveTestOptions(backend string, seed int64) LiveOptions {
+	return LiveOptions{
+		Backend:      backend,
+		Seed:         seed,
+		FlowWindow:   300 * time.Millisecond,
+		DrainTimeout: 60 * time.Second,
+	}
+}
+
+// requireClean asserts a live run converged with no invariant violations.
+func requireClean(t *testing.T, res LiveResult) {
+	t.Helper()
+	if res.Err != "" {
+		t.Fatalf("live run error: %s", res.Err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.CtlRestarts > 0 && res.CtlRecovered != res.CtlRestarts {
+		t.Errorf("only %d of %d restarted controllers recovered", res.CtlRecovered, res.CtlRestarts)
+	}
+	if res.FlowsDone == res.FlowsTotal && !res.TableMatch {
+		t.Errorf("all %d flows done but tables diverge from the fault-free reference", res.FlowsTotal)
+	}
+	t.Logf("flows=%d/%d ctl-restarts=%d sw-restarts=%d tableMatch=%v injected=%v resilience=%+v",
+		res.FlowsDone, res.FlowsTotal, res.CtlRestarts, res.SwitchRestarts, res.TableMatch, res.Injected, res.Resilience)
+}
+
+// TestLiveChaosMixedInProc is the acceptance campaign on the in-process
+// backend: every fault family at once — link faults, controller and switch
+// crash/restart windows, partitions, a Byzantine controller — against real
+// crypto, converging with zero invariant violations.
+func TestLiveChaosMixedInProc(t *testing.T) {
+	p := liveTestProfile(MixedProfile(), 6)
+	res := RunLiveSeed(p, liveTestOptions("inproc", 7))
+	requireClean(t, res)
+	if res.CtlRestarts == 0 || res.SwitchRestarts == 0 {
+		t.Errorf("expected both controller and switch restarts, got ctl=%d sw=%d", res.CtlRestarts, res.SwitchRestarts)
+	}
+}
+
+// TestLiveChaosCrashRecoveryInProc isolates the crash/restart machinery:
+// no link noise, no Byzantine controller — every flow must complete and
+// the rebuilt state must match the fault-free reference exactly.
+func TestLiveChaosCrashRecoveryInProc(t *testing.T) {
+	p := liveTestProfile(CrashProfile(), 6)
+	res := RunLiveSeed(p, liveTestOptions("inproc", 11))
+	requireClean(t, res)
+	if res.FlowsDone != res.FlowsTotal {
+		t.Errorf("only %d of %d flows completed", res.FlowsDone, res.FlowsTotal)
+	}
+	if !res.TableMatch {
+		t.Errorf("tables diverge from fault-free reference (digest %s)", res.TableDigest)
+	}
+	if res.CtlRecovered == 0 {
+		t.Errorf("no controller completed crash recovery")
+	}
+	if res.CtlRestarts > 0 && !res.ResyncProven {
+		t.Errorf("restarted controllers did not rebuild byte-identical ledgers under benign faults")
+	}
+}
+
+// TestLiveChaosCanaryInProc plants the verification-bypass canary: with
+// switch signature verification disabled, the Byzantine controller's
+// forged updates must surface as no-forged-rule violations on the live
+// backend too.
+func TestLiveChaosCanaryInProc(t *testing.T) {
+	p := liveTestProfile(ByzantineProfile(), 4)
+	p.CanarySkipVerify = true
+	res := RunLiveSeed(p, liveTestOptions("inproc", 5))
+	if res.Err != "" {
+		t.Fatalf("live run error: %s", res.Err)
+	}
+	forged := 0
+	for _, v := range res.Violations {
+		if v.Invariant == InvNoForgedRule {
+			forged++
+		}
+	}
+	if forged == 0 {
+		t.Fatalf("canary not caught: expected no-forged-rule violations, got %v", res.Violations)
+	}
+	t.Logf("canary caught: %d no-forged-rule violations", forged)
+}
+
+// TestLiveChaosTCPCrashRestart runs crash/restart windows over real TCP
+// sockets: crashes sever connections mid-workload, restarts re-listen and
+// redial, and delivery must resume until every flow completes.
+func TestLiveChaosTCPCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP chaos run skipped in -short mode")
+	}
+	p := liveTestProfile(CrashProfile(), 5)
+	res := RunLiveSeed(p, liveTestOptions("tcp", 3))
+	requireClean(t, res)
+	if res.FlowsDone != res.FlowsTotal {
+		t.Errorf("only %d of %d flows completed over TCP", res.FlowsDone, res.FlowsTotal)
+	}
+	if !res.TableMatch {
+		t.Errorf("tables diverge from fault-free reference (digest %s)", res.TableDigest)
+	}
+}

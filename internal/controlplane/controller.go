@@ -128,6 +128,14 @@ type Config struct {
 	ViewChangeTimeout time.Duration
 	// FailureDetector, when non-nil, runs heartbeats.
 	FailureDetector *FailureDetectorConfig
+
+	// CrashRecovery marks a controller that replaces a crashed instance.
+	// It is born recovering: its amnesiac broadcast replica stays mute —
+	// neither voting nor proposing — until peer state transfer rebuilds
+	// its coordinates (an amnesiac that votes can contradict its pre-crash
+	// votes and let conflicting quorums form). Set by the deployment
+	// layer's restart path; call StartRecovery to begin the transfer.
+	CrashRecovery bool
 }
 
 // CiceroQuorum returns the update quorum t = ⌊(n−1)/3⌋+1 (§3.2).
@@ -161,6 +169,19 @@ type Controller struct {
 	// Config-push share collection (leader only).
 	configShares map[uint64]map[uint32][]byte
 
+	// dispatchLog records every update this controller signed, in release
+	// order, so crash recovery can answer switch resyncs and retransmit
+	// in-flight updates (see recovery.go).
+	dispatchLog []dispatchRecord
+	// aggSent stores the combined aggregate per update while this
+	// controller is the aggregator, for recovery retransmission.
+	aggSent map[string]protocol.MsgAggUpdate
+	// recovery tracks an in-flight crash recovery; recovered stays true
+	// afterwards so retransmitted updates carry the Resend flag (switches
+	// re-acknowledge those instead of silently dropping duplicates).
+	recovery  *recoverySession
+	recovered bool
+
 	// Membership-change state (see membership.go).
 	change      *changeState
 	early       earlyReshare
@@ -190,6 +211,14 @@ type Controller struct {
 	UpdatesSigned   uint64
 	AcksReceived    uint64
 	Reshares        uint64
+	Recoveries      uint64
+}
+
+// dispatchRecord is one signed update in the dispatch log.
+type dispatchRecord struct {
+	id    openflow.MsgID
+	phase uint64
+	mods  []openflow.FlowMod
 }
 
 var _ fabric.Handler = (*Controller)(nil)
@@ -219,6 +248,7 @@ func New(cfg Config) (*Controller, error) {
 		aggPending:      make(map[string]*aggCollect),
 		configShares:    make(map[uint64]map[uint32][]byte),
 		updateMod:       make(map[string][]openflow.FlowMod),
+		aggSent:         make(map[string]protocol.MsgAggUpdate),
 		lastSeen:        make(map[pki.Identity]fabric.Time),
 		suspected:       make(map[pki.Identity]bool),
 	}
@@ -230,6 +260,11 @@ func New(cfg Config) (*Controller, error) {
 		if err := c.rebuildReplica(); err != nil {
 			return nil, err
 		}
+	}
+	// Arm the recovery session before the handler is registered so not a
+	// single message reaches the amnesiac replica.
+	if cfg.CrashRecovery && cfg.Protocol != ProtoCentralized && len(c.members) >= 2 {
+		c.recovery = &recoverySession{responses: make(map[string]protocol.MsgRecoverState)}
 	}
 	cfg.Net.Register(fabric.NodeID(cfg.ID), c)
 	if cfg.FailureDetector != nil && cfg.Protocol == ProtoCicero {
@@ -376,6 +411,12 @@ func (c *Controller) HandleMessage(from fabric.NodeID, msg fabric.Message) {
 		c.handleReshareSub(m)
 	case protocol.MsgStateTransfer:
 		c.handleStateTransfer(m)
+	case protocol.MsgRecoverRequest:
+		c.handleRecoverRequest(m)
+	case protocol.MsgRecoverState:
+		c.handleRecoverState(m)
+	case protocol.MsgResyncRequest:
+		c.handleResyncRequest(m)
 	}
 }
 
@@ -384,6 +425,14 @@ func (c *Controller) HandleMessage(from fabric.NodeID, msg fabric.Message) {
 // membership change completes.
 func (c *Controller) handleBFT(from fabric.NodeID, m protocol.MsgBFT) {
 	if c.replica == nil {
+		return
+	}
+	// A recovering replica lost its agreement state with the crash; until
+	// state transfer restores its coordinates it must not vote, propose,
+	// or join view changes — an amnesiac participant can contradict its
+	// pre-crash votes and let a conflicting quorum re-assign a slot that
+	// other replicas already delivered.
+	if c.Recovering() {
 		return
 	}
 	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.BFTCompute)
@@ -490,6 +539,12 @@ func (c *Controller) submitItem(item protocol.BroadcastItem) {
 	if c.replica == nil {
 		return
 	}
+	// While recovering, the replica is mute: hold submissions until state
+	// transfer completes, then replay them through the rebuilt replica.
+	if c.Recovering() {
+		c.recovery.held = append(c.recovery.held, payload)
+		return
+	}
 	c.pendingSubmit[string(payload)] = payload
 	c.replica.Submit(payload)
 }
@@ -578,23 +633,36 @@ func (c *Controller) processEvent(ev protocol.Event) {
 // callback).
 func (c *Controller) dispatchUpdate(su scheduler.ScheduledUpdate) {
 	mods := []openflow.FlowMod{su.Mod}
-	msg := protocol.MsgUpdate{
-		UpdateID: su.ID,
-		Mods:     mods,
-		Phase:    c.phase,
-		From:     c.cfg.ID,
-	}
 	canonical := openflow.CanonicalUpdateBytes(su.ID, c.phase, mods)
+	c.ledger.Append(audit.KindUpdate, su.ID.String(), canonical)
+	c.UpdatesSigned++
+	c.dispatchLog = append(c.dispatchLog, dispatchRecord{id: su.ID, phase: c.phase, mods: mods})
+	// After a recovery, every dispatch is a potential retransmission of an
+	// update the switch decided before the crash; Resend makes the switch
+	// re-acknowledge so the rebuilt engine can release dependents.
+	c.sendUpdate(su.ID, c.phase, mods, c.recovered)
+}
+
+// sendUpdate share-signs one update and routes it to its switch (or to
+// the aggregator). It is the transmission half of dispatchUpdate, reused
+// by the recovery layer to retransmit logged updates with fresh shares.
+func (c *Controller) sendUpdate(id openflow.MsgID, phase uint64, mods []openflow.FlowMod, resend bool) {
+	msg := protocol.MsgUpdate{
+		UpdateID: id,
+		Mods:     mods,
+		Phase:    phase,
+		From:     c.cfg.ID,
+		Resend:   resend,
+	}
 	if c.cfg.Protocol == ProtoCicero {
 		c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
 		msg.ShareIndex = c.cfg.Share.Index
 		if c.cfg.CryptoReal {
+			canonical := openflow.CanonicalUpdateBytes(id, phase, mods)
 			share := c.cfg.Scheme.SignShare(c.cfg.Share, canonical)
 			msg.Share = c.cfg.Scheme.Params.PointBytes(share.Point)
 		}
 	}
-	c.ledger.Append(audit.KindUpdate, su.ID.String(), canonical)
-	c.UpdatesSigned++
 	size := 256 * len(mods)
 	if agg := c.aggregatorID(); agg != "" && c.cfg.Protocol == ProtoCicero {
 		if agg == c.cfg.ID {
@@ -604,7 +672,10 @@ func (c *Controller) dispatchUpdate(su scheduler.ScheduledUpdate) {
 		c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(agg), msg, size)
 		return
 	}
-	c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(su.Mod.Switch), msg, size)
+	if len(mods) == 0 {
+		return
+	}
+	c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(mods[0].Switch), msg, size)
 }
 
 // handleUpdateShare collects controllers' shares when this controller is
@@ -620,7 +691,19 @@ func (c *Controller) handleUpdateShare(m protocol.MsgUpdate) {
 		col = &aggCollect{mods: m.Mods, phase: m.Phase, shares: make(map[uint32][]byte)}
 		c.aggPending[key] = col
 	}
-	if col.done || m.ShareIndex == 0 {
+	if col.done {
+		// A Resend share for a completed update means a recovering peer
+		// needs the ack again: rebroadcast the stored aggregate so the
+		// switch re-acknowledges.
+		if m.Resend {
+			if out, ok := c.aggSent[key]; ok {
+				out.Resend = true
+				c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(out.Mods[0].Switch), out, 256*len(out.Mods))
+			}
+		}
+		return
+	}
+	if m.ShareIndex == 0 {
 		return
 	}
 	col.shares[m.ShareIndex] = m.Share
@@ -652,7 +735,8 @@ func (c *Controller) handleUpdateShare(m protocol.MsgUpdate) {
 	if len(col.mods) == 0 {
 		return
 	}
-	out := protocol.MsgAggUpdate{UpdateID: m.UpdateID, Mods: col.mods, Phase: m.Phase, Signature: sig}
+	out := protocol.MsgAggUpdate{UpdateID: m.UpdateID, Mods: col.mods, Phase: m.Phase, Signature: sig, Resend: m.Resend}
+	c.aggSent[key] = out
 	c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(col.mods[0].Switch), out, 256*len(col.mods))
 }
 
@@ -817,6 +901,16 @@ func (c *Controller) PeerView(domain int) []pki.Identity {
 // (the §7 future-work mechanism; see internal/audit).
 func (c *Controller) AuditRecords() []audit.Record {
 	return c.ledger.Records()
+}
+
+// BroadcastCoords reports the atomic-broadcast replica's current view and
+// delivery watermark (zeros for the centralized baseline). Operational
+// introspection for drain loops and debugging.
+func (c *Controller) BroadcastCoords() (view, lastDelivered uint64) {
+	if c.replica == nil {
+		return 0, 0
+	}
+	return c.replica.View(), c.replica.LastDelivered()
 }
 
 // InjectEvent lets the simulation driver present an administrator event

@@ -25,6 +25,9 @@ type Domain struct {
 	GroupKey    *bls.GroupKey
 	Shares      []bls.KeyShare
 	Switches    []string
+	// Aggregator is the designated aggregator identity ("" in
+	// switch-aggregation mode).
+	Aggregator pki.Identity
 	// Site is the graph node controllers of this domain are co-located
 	// with (for latency derivation).
 	Site string
@@ -53,6 +56,13 @@ type Network struct {
 	// distCache memoizes site-to-site fabric latencies.
 	distCache map[[2]string]time.Duration
 
+	// ctlConfigs and swConfigs retain each node's build-time configuration
+	// (the durable provisioning: identity keys, threshold share, topology)
+	// so RestartController/RestartSwitch can rebuild a crashed node with
+	// empty volatile state.
+	ctlConfigs map[pki.Identity]controlplane.Config
+	swConfigs  map[string]dataplane.Config
+
 	results []FlowResult
 	flowSeq uint64
 }
@@ -80,6 +90,8 @@ func Build(cfg Config) (*Network, error) {
 		domainOfSwitch: make(map[string]int),
 		site:           make(map[string]string),
 		distCache:      make(map[[2]string]time.Duration),
+		ctlConfigs:     make(map[pki.Identity]controlplane.Config),
+		swConfigs:      make(map[string]dataplane.Config),
 	}
 	if cfg.Fabric != nil {
 		// Live backend: components construct against the provided fabric;
@@ -182,6 +194,7 @@ func Build(cfg Config) (*Network, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: controller %s: %w", id, err)
 			}
+			n.ctlConfigs[id] = ctlCfg
 			d.Controllers = append(d.Controllers, ctl)
 		}
 
@@ -221,8 +234,10 @@ func Build(cfg Config) (*Network, error) {
 				return nil, fmt.Errorf("core: switch %s: %w", swID, err)
 			}
 			sw.Bootstrap(d.Members, aggregator, quorum)
+			n.swConfigs[swID] = swCfg
 			n.Switches[swID] = sw
 		}
+		d.Aggregator = aggregator
 		n.Domains = append(n.Domains, d)
 	}
 	return n, nil

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/dataplane"
+	"cicero/internal/fabric"
+)
+
+// Crash/restart plumbing for live deployments. The fabric models the
+// machine (Crash drops traffic and purges the mailbox; Restart brings the
+// machine back); these helpers model the process: they rebuild the node's
+// runtime object from its durable provisioning (identity keys, threshold
+// share, topology) with empty volatile state, and kick off the protocol's
+// recovery path. Call fabric.Restart first so the replacement can talk.
+
+// RestartController replaces a crashed controller with a fresh instance
+// and starts crash recovery (peer state transfer + broadcast fast-
+// forward; see controlplane/recovery.go). The routing app is rebuilt too,
+// so no pre-crash volatile state survives.
+func (n *Network) RestartController(dom, slot int) (*controlplane.Controller, error) {
+	if dom < 0 || dom >= len(n.Domains) {
+		return nil, fmt.Errorf("core: restart controller: domain %d out of range", dom)
+	}
+	d := n.Domains[dom]
+	if slot < 0 || slot >= len(d.Controllers) {
+		return nil, fmt.Errorf("core: restart controller: slot %d out of range in domain %d", slot, dom)
+	}
+	old := d.Controllers[slot]
+	id := old.ID()
+	cfg, ok := n.ctlConfigs[id]
+	if !ok {
+		return nil, fmt.Errorf("core: restart controller: no stored config for %s", id)
+	}
+	// Kill the old instance inside its serial context so any of its timers
+	// that survived the crash find it stopped.
+	n.Fab.Invoke(fabric.NodeID(id), old.Stop)
+	cfg.App = n.newApp()
+	cfg.CrashRecovery = true          // born mute until peer state transfer adopts
+	ctl, err := controlplane.New(cfg) // re-registers the node's handler
+	if err != nil {
+		return nil, fmt.Errorf("core: restart controller %s: %w", id, err)
+	}
+	d.Controllers[slot] = ctl
+	n.Fab.Invoke(fabric.NodeID(id), ctl.StartRecovery)
+	return ctl, nil
+}
+
+// RestartSwitch replaces a crashed switch with a fresh instance (empty
+// flow table) and requests a resync: every controller retransmits the
+// updates it logged for this switch, and the table rebuilds through the
+// ordinary quorum-authentication path.
+func (n *Network) RestartSwitch(id string) (*dataplane.Switch, error) {
+	cfg, ok := n.swConfigs[id]
+	if !ok {
+		return nil, fmt.Errorf("core: restart switch: no stored config for %s", id)
+	}
+	// The replacement instance gets a fresh event-id namespace: a reset
+	// sequence counter under the same boot epoch would collide with
+	// pre-crash event ids that controllers already dedup on.
+	cfg.BootEpoch++
+	n.swConfigs[id] = cfg
+	dom := n.domainOfSwitch[id]
+	d := n.Domains[dom]
+	sw, err := dataplane.New(cfg) // re-registers the node's handler
+	if err != nil {
+		return nil, fmt.Errorf("core: restart switch %s: %w", id, err)
+	}
+	quorum := controlplane.CiceroQuorum(len(d.Members))
+	if n.Cfg.Protocol != controlplane.ProtoCicero {
+		quorum = 1
+	}
+	sw.Bootstrap(d.Members, d.Aggregator, quorum)
+	n.Switches[id] = sw
+	n.Fab.Invoke(fabric.NodeID(id), sw.RequestResync)
+	return sw, nil
+}

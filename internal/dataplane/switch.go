@@ -69,6 +69,15 @@ type Config struct {
 	// engine's invariant checkers attach here). It runs synchronously on
 	// the simulator loop after the flow table has been updated.
 	ApplyHook func(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool)
+
+	// BootEpoch namespaces this instance's event sequence numbers (the
+	// high 32 bits). Controllers dedup events by id, so a switch that
+	// restarts with a reset counter would collide with its pre-crash ids
+	// and its fresh events would be silently dropped — or worse, deliver
+	// different content under an already-delivered id. A real switch
+	// derives the epoch from a boot counter in stable storage; here the
+	// deployment layer's restart path increments it.
+	BootEpoch uint32
 }
 
 // matchKey dedups pending events per flow endpoints.
@@ -97,11 +106,14 @@ type Switch struct {
 	// pendingEvents dedups outstanding table-miss events per match.
 	pendingEvents map[matchKey]openflow.MsgID
 	pending       map[string]*pendingUpdate // keyed by updateID|phase
-	applied       map[string]bool
-	aggregator    pki.Identity
-	configPhase   uint64
-	waiters       []waiter
-	bundles       map[string]*bundleState
+	// applied records the verdict of every decided update (true: applied,
+	// false: rejected) so recovery retransmissions can be re-acknowledged
+	// with the original outcome.
+	applied     map[string]bool
+	aggregator  pki.Identity
+	configPhase uint64
+	waiters     []waiter
+	bundles     map[string]*bundleState
 
 	// verifyCache memoizes verified (message, signature) pairs so
 	// retransmitted or re-gossiped aggregates skip the pairing entirely.
@@ -134,6 +146,7 @@ func New(cfg Config) (*Switch, error) {
 	s := &Switch{
 		cfg:           cfg,
 		table:         openflow.NewFlowTable(),
+		eventSeq:      uint64(cfg.BootEpoch) << 32,
 		pendingEvents: make(map[matchKey]openflow.MsgID),
 		pending:       make(map[string]*pendingUpdate),
 		applied:       make(map[string]bool),
@@ -271,7 +284,13 @@ func updateKey(id openflow.MsgID, phase uint64) string {
 // handleUpdate processes a per-controller signed update.
 func (s *Switch) handleUpdate(m protocol.MsgUpdate) {
 	key := updateKey(m.UpdateID, m.Phase)
-	if s.applied[key] {
+	if verdict, decided := s.applied[key]; decided {
+		// Re-acknowledge recovery retransmissions (a controller that lost
+		// the ack in a crash is stuck without it); ordinary late quorum
+		// shares stay silent so they do not amplify into ack storms.
+		if m.Resend {
+			s.sendAck(m.UpdateID, verdict)
+		}
 		return
 	}
 	switch s.cfg.Mode {
@@ -328,7 +347,10 @@ func (s *Switch) verifyShares(id openflow.MsgID, pu *pendingUpdate) bool {
 // handleAggUpdate verifies a pre-aggregated signature and applies.
 func (s *Switch) handleAggUpdate(m protocol.MsgAggUpdate) {
 	key := updateKey(m.UpdateID, m.Phase)
-	if s.applied[key] {
+	if verdict, decided := s.applied[key]; decided {
+		if m.Resend {
+			s.sendAck(m.UpdateID, verdict)
+		}
 		return
 	}
 	if s.cfg.Mode == ModeUnsigned {
@@ -383,9 +405,18 @@ func (s *Switch) handleConfig(m protocol.MsgConfig) {
 			s.cfg.Mode = ModeThreshold
 		}
 	}
-	// Re-emit outstanding table-miss events under fresh ids: the control
-	// plane that should serve them may have changed (e.g., a crashed
-	// aggregator was replaced), and controllers deduplicate by event id.
+	// The control plane that should serve outstanding table-miss events
+	// may have changed (e.g., a crashed aggregator was replaced), so nudge
+	// them again.
+	s.ResendPendingEvents()
+}
+
+// ResendPendingEvents re-emits every outstanding table-miss event under a
+// fresh id. Controllers deduplicate by event id, so a fresh id is the only
+// way to push a request whose first emission died with a crashed
+// controller or a dropped message. The chaos drain phase calls this to
+// re-drive stalled flows; handleConfig calls it after membership changes.
+func (s *Switch) ResendPendingEvents() {
 	pending := s.pendingEvents
 	s.pendingEvents = make(map[matchKey]openflow.MsgID, len(pending))
 	keys := make([]matchKey, 0, len(pending))
@@ -411,6 +442,18 @@ func (s *Switch) handleConfig(m protocol.MsgConfig) {
 	}
 }
 
+// RequestResync asks every known controller to retransmit the updates
+// previously dispatched to this switch. A restarted switch calls it once
+// after Bootstrap: its flow table rebuilds through the normal quorum-
+// authenticated update path, so resynchronization is exactly as hard to
+// forge as a regular update.
+func (s *Switch) RequestResync() {
+	msg := protocol.MsgResyncRequest{Switch: s.cfg.ID}
+	for _, ctl := range s.cfg.Controllers {
+		s.cfg.Net.Send(fabric.NodeID(s.cfg.ID), fabric.NodeID(ctl), msg, 64)
+	}
+}
+
 // Aggregator returns the currently assigned aggregator ("" when events are
 // multicast to the whole control plane).
 func (s *Switch) Aggregator() pki.Identity { return s.aggregator }
@@ -430,7 +473,7 @@ func (s *Switch) Bootstrap(members []pki.Identity, aggregator pki.Identity, quor
 // flow waiters whose rules just arrived.
 func (s *Switch) apply(id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool) {
 	key := updateKey(id, phase)
-	s.applied[key] = true
+	s.applied[key] = valid
 	if !valid {
 		s.UpdatesRejected++
 		if s.cfg.ApplyHook != nil {

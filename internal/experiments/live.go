@@ -112,15 +112,40 @@ type LiveCrossCheck struct {
 	AuditContentMatch  bool   `json:"audit_content_match"`
 }
 
-// LiveBackendReport is one backend's full result.
+// LiveBackendReport is one backend's full result. The resilience maps
+// carry the transport's retry/reconnect/breaker counters per leg under the
+// canonical metrics.Counter* names (zero across the board on a healthy
+// localhost run — nonzero values flag transport distress behind otherwise
+// clean latencies).
 type LiveBackendReport struct {
-	Backend     string         `json:"backend"`
-	SingleFlow  LiveLatency    `json:"single_flow"`
-	MultiFlow   LiveLatency    `json:"multi_flow"`
-	SingleWire  LiveWire       `json:"single_wire"`
-	MultiWire   LiveWire       `json:"multi_wire"`
-	SingleCheck LiveCrossCheck `json:"single_check"`
-	MultiCheck  LiveCrossCheck `json:"multi_check"`
+	Backend          string            `json:"backend"`
+	SingleFlow       LiveLatency       `json:"single_flow"`
+	MultiFlow        LiveLatency       `json:"multi_flow"`
+	SingleWire       LiveWire          `json:"single_wire"`
+	MultiWire        LiveWire          `json:"multi_wire"`
+	SingleCheck      LiveCrossCheck    `json:"single_check"`
+	MultiCheck       LiveCrossCheck    `json:"multi_check"`
+	SingleResilience map[string]uint64 `json:"single_resilience"`
+	MultiResilience  map[string]uint64 `json:"multi_resilience"`
+}
+
+// resilienceCounters folds a live backend's ResilienceStats into the
+// canonical counter names shared with the chaos campaigns.
+func resilienceCounters(fab fabric.Fabric) map[string]uint64 {
+	r, ok := fab.(interface {
+		Resilience() livenet.ResilienceStats
+	})
+	if !ok {
+		return nil
+	}
+	st := r.Resilience()
+	return map[string]uint64{
+		metrics.CounterRetry:       st.Retries,
+		metrics.CounterReconnect:   st.Reconnects,
+		metrics.CounterBreakerTrip: st.BreakerTrips,
+		metrics.CounterCrash:       st.Crashes,
+		metrics.CounterRestart:     st.Restarts,
+	}
 }
 
 // LiveReport is the BENCH_live.json document.
@@ -488,18 +513,18 @@ func crossCheck(n *core.Network, ref *reference, checkChain bool, timeout time.D
 
 // runLiveLeg builds a fresh deployment on the backend, drives the pairs
 // (sequentially or concurrently), quiesces, and cross-checks.
-func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *reference, concurrent bool) (LiveLatency, LiveWire, LiveCrossCheck, error) {
+func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *reference, concurrent bool) (LiveLatency, LiveWire, LiveCrossCheck, map[string]uint64, error) {
 	var lat LiveLatency
 	var wire LiveWire
 	var check LiveCrossCheck
 	fab, closeFab, err := newLiveFabric(opt.Backend)
 	if err != nil {
-		return lat, wire, check, err
+		return lat, wire, check, nil, err
 	}
 	defer closeFab()
 	n, err := core.Build(liveConfig(g, fab, opt.Seed))
 	if err != nil {
-		return lat, wire, check, err
+		return lat, wire, check, nil, err
 	}
 	samples := &metrics.Samples{}
 	wallStart := time.Now()
@@ -511,7 +536,7 @@ func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *refe
 		for i, p := range pairs {
 			starts[i] = time.Now()
 			if dones[i], err = driveFlow(n, p); err != nil {
-				return lat, wire, check, err
+				return lat, wire, check, nil, err
 			}
 		}
 		for i, done := range dones {
@@ -519,7 +544,7 @@ func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *refe
 			case <-done:
 				samples.Add(float64(time.Since(starts[i])) / float64(time.Millisecond))
 			case <-time.After(opt.Timeout):
-				return lat, wire, check, fmt.Errorf("live: %s flow %v timed out", opt.Backend, pairs[i])
+				return lat, wire, check, nil, fmt.Errorf("live: %s flow %v timed out", opt.Backend, pairs[i])
 			}
 		}
 	} else {
@@ -527,29 +552,29 @@ func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *refe
 			start := time.Now()
 			done, err := driveFlow(n, p)
 			if err != nil {
-				return lat, wire, check, err
+				return lat, wire, check, nil, err
 			}
 			select {
 			case <-done:
 				samples.Add(float64(time.Since(start)) / float64(time.Millisecond))
 			case <-time.After(opt.Timeout):
-				return lat, wire, check, fmt.Errorf("live: %s flow %v timed out", opt.Backend, p)
+				return lat, wire, check, nil, fmt.Errorf("live: %s flow %v timed out", opt.Backend, p)
 			}
 			// The sequential leg quiesces between flows so the audit
 			// chains record the simulator's canonical order.
 			if err := awaitQuiescence(n, opt.Timeout); err != nil {
-				return lat, wire, check, err
+				return lat, wire, check, nil, err
 			}
 		}
 	}
 	wall := time.Since(wallStart)
 	if err := awaitQuiescence(n, opt.Timeout); err != nil {
-		return lat, wire, check, err
+		return lat, wire, check, nil, err
 	}
 	if check, err = crossCheck(n, ref, !concurrent, opt.Timeout); err != nil {
-		return lat, wire, check, err
+		return lat, wire, check, nil, err
 	}
-	return summarize(samples, wall), wireOf(fab.Stats()), check, nil
+	return summarize(samples, wall), wireOf(fab.Stats()), check, resilienceCounters(fab), nil
 }
 
 // RunLive executes the full live benchmark for one backend: the simnet
@@ -582,11 +607,11 @@ func RunLive(opt LiveOptions) (*LiveBackendReport, error) {
 	}
 
 	report := &LiveBackendReport{Backend: opt.Backend}
-	if report.SingleFlow, report.SingleWire, report.SingleCheck, err =
+	if report.SingleFlow, report.SingleWire, report.SingleCheck, report.SingleResilience, err =
 		runLiveLeg(opt, g, singlePairs, singleRef, false); err != nil {
 		return nil, err
 	}
-	if report.MultiFlow, report.MultiWire, report.MultiCheck, err =
+	if report.MultiFlow, report.MultiWire, report.MultiCheck, report.MultiResilience, err =
 		runLiveLeg(opt, g, multiPairs, multiRef, true); err != nil {
 		return nil, err
 	}

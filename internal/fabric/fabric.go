@@ -30,6 +30,38 @@ type Message any
 // simnet, wall-clock time since fabric creation on live backends.
 type Time = time.Duration
 
+// FaultAction tells a backend what to do with one in-flight message. The
+// zero value means "deliver normally". Fields compose: a message can be
+// replaced, delayed, and duplicated in one action; Drop wins over the rest.
+type FaultAction struct {
+	// Drop discards the message (counted as an injected drop).
+	Drop bool
+	// Delay adds extra latency on top of the link's own delay.
+	Delay time.Duration
+	// Duplicates injects this many extra copies of the message, each
+	// delivered independently (so copies may reorder).
+	Duplicates int
+	// Replace, when non-nil, substitutes the delivered payload (corruption
+	// and Byzantine mutation). The original msg is left untouched; filters
+	// must deep-copy before mutating shared structures.
+	Replace Message
+}
+
+// Filter inspects every message that passed the crash/partition checks and
+// decides its fate. On simnet it runs synchronously on the simulator loop;
+// on live backends it runs on whatever goroutine called Send, so filters
+// used live must be safe for concurrent use. A nil filter delivers
+// everything normally.
+type Filter func(from, to NodeID, msg Message, size int) FaultAction
+
+// FaultInjector is the optional fault plane a fabric may expose: the chaos
+// engine installs one Filter that adjudicates every admitted message, the
+// same way on simnet and on the live backends.
+type FaultInjector interface {
+	// SetFilter installs (or, with nil, removes) the message fault filter.
+	SetFilter(f Filter)
+}
+
 // Handler processes messages delivered to a node. A backend guarantees
 // that all deliveries, timer callbacks, and Invoke thunks for one node run
 // serially (simnet: the single event loop; livenet: the node's mailbox
@@ -47,9 +79,9 @@ func (f HandlerFunc) HandleMessage(from NodeID, msg Message) { f(from, msg) }
 var _ Handler = (HandlerFunc)(nil)
 
 // Stats summarizes fabric traffic. Dropped is the total; the Dropped*
-// fields break it out by cause where the backend distinguishes them
-// (simnet tracks all four; live backends leave DroppedInjected zero and
-// fold transport errors into DroppedUnknown).
+// fields break it out by cause (crashed destination, partitioned link,
+// unregistered destination or transport error, chaos-filter injection).
+// All backends track all four.
 type Stats struct {
 	Sent             uint64
 	Delivered        uint64

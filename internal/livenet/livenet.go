@@ -7,8 +7,16 @@
 //     every message through the wire codec so serialization bugs surface
 //     in fast in-process tests.
 //   - TCP: the same node runtime, with messages crossing localhost TCP
-//     sockets as length-prefixed codec frames, per-peer connection
-//     caching, and one reconnect attempt on a broken connection.
+//     sockets as length-prefixed codec frames through per-peer links: a
+//     bounded outbound queue, a writer goroutine with per-send deadlines
+//     and bounded exponential backoff with jitter, and a circuit breaker
+//     that trips after repeated dial failures and probes half-open.
+//
+// Both backends implement fabric.FaultInjector, so the chaos engine's
+// drop/delay/duplicate/corrupt filters inject on live transports exactly
+// as they do on simnet; Crash/Restart additionally model real process
+// death (mailbox purge, and on TCP severed sockets plus a fresh listener
+// on restart).
 //
 // Both backends keep the fabric's per-node serial execution contract: all
 // deliveries, timer callbacks, and Invoke thunks for one node run on that
@@ -60,6 +68,16 @@ func (n *node) enqueue(fn func()) {
 	n.cond.Signal()
 }
 
+// purge discards every queued-but-unprocessed thunk: the volatile-state
+// loss of a crash. Thunks already executing run to completion (the node
+// "crashes" between messages, never mid-handler — the same granularity
+// simnet models).
+func (n *node) purge() {
+	n.mu.Lock()
+	n.queue = nil
+	n.mu.Unlock()
+}
+
 // loop is the mailbox goroutine: it drains thunks strictly serially.
 func (n *node) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
@@ -88,7 +106,9 @@ func (n *node) handler() fabric.Handler {
 	return n.h
 }
 
-// stats is the atomic counter block behind fabric.Stats.
+// stats is the atomic counter block behind fabric.Stats, plus the
+// resilience counters live backends accumulate (retries, reconnects,
+// breaker trips, crash/restart events).
 type stats struct {
 	sent             atomic.Uint64
 	delivered        atomic.Uint64
@@ -96,6 +116,13 @@ type stats struct {
 	droppedCrash     atomic.Uint64
 	droppedPartition atomic.Uint64
 	droppedUnknown   atomic.Uint64
+	droppedInjected  atomic.Uint64
+
+	retries      atomic.Uint64
+	reconnects   atomic.Uint64
+	breakerTrips atomic.Uint64
+	crashes      atomic.Uint64
+	restarts     atomic.Uint64
 }
 
 // snapshot converts to the fabric view.
@@ -107,9 +134,39 @@ func (s *stats) snapshot() fabric.Stats {
 		DroppedCrash:     s.droppedCrash.Load(),
 		DroppedPartition: s.droppedPartition.Load(),
 		DroppedUnknown:   s.droppedUnknown.Load(),
+		DroppedInjected:  s.droppedInjected.Load(),
 	}
-	out.Dropped = out.DroppedCrash + out.DroppedPartition + out.DroppedUnknown
+	out.Dropped = out.DroppedCrash + out.DroppedPartition +
+		out.DroppedUnknown + out.DroppedInjected
 	return out
+}
+
+// ResilienceStats counts the transport-resilience events a live run saw.
+// InProc only reports crash/restart events; TCP reports all of them.
+type ResilienceStats struct {
+	// Retries is the number of frame (re)transmission attempts beyond the
+	// first — dial retries plus write retries.
+	Retries uint64
+	// Reconnects is the number of successful redials after a connection
+	// went bad.
+	Reconnects uint64
+	// BreakerTrips is the number of closed -> open transitions across all
+	// per-peer circuit breakers.
+	BreakerTrips uint64
+	// Crashes and Restarts count fault-plane crash/restart events.
+	Crashes  uint64
+	Restarts uint64
+}
+
+// resilience snapshots the resilience counters.
+func (s *stats) resilience() ResilienceStats {
+	return ResilienceStats{
+		Retries:      s.retries.Load(),
+		Reconnects:   s.reconnects.Load(),
+		BreakerTrips: s.breakerTrips.Load(),
+		Crashes:      s.crashes.Load(),
+		Restarts:     s.restarts.Load(),
+	}
 }
 
 // base is the node runtime shared by both live backends: registration,
@@ -122,6 +179,11 @@ type base struct {
 	crashed map[fabric.NodeID]bool
 	parts   map[[2]fabric.NodeID]bool
 	closed  bool
+
+	// fmu guards the chaos fault filter separately from the node maps so
+	// hot-path sends read it with minimal contention.
+	fmu    sync.RWMutex
+	filter fabric.Filter
 
 	wg sync.WaitGroup
 	st stats
@@ -222,19 +284,48 @@ func (b *base) BusyTotal(id fabric.NodeID) time.Duration {
 // Now is wall-clock time since the fabric was created.
 func (b *base) Now() fabric.Time { return time.Since(b.start) }
 
-// Crash marks a node failed: its inbound messages drop and its timers are
-// suppressed until Restart.
-func (b *base) Crash(id fabric.NodeID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.crashed[id] = true
+// SetFilter installs (or, with nil, removes) the message fault filter. On
+// live backends the filter runs on whatever goroutine called Send, so it
+// must be safe for concurrent use.
+func (b *base) SetFilter(f fabric.Filter) {
+	b.fmu.Lock()
+	b.filter = f
+	b.fmu.Unlock()
 }
 
-// Restart clears a node's crash flag.
+// getFilter reads the current filter.
+func (b *base) getFilter() fabric.Filter {
+	b.fmu.RLock()
+	defer b.fmu.RUnlock()
+	return b.filter
+}
+
+// Crash marks a node failed: its inbound messages drop, its timers are
+// suppressed until Restart, and every thunk already queued in its mailbox
+// is discarded (volatile-state loss). Thunks enqueued after the crash —
+// Invoke, used by drivers to inspect the wreck — still run.
+func (b *base) Crash(id fabric.NodeID) {
+	b.mu.Lock()
+	b.crashed[id] = true
+	n := b.nodes[id]
+	b.mu.Unlock()
+	b.st.crashes.Add(1)
+	if n != nil {
+		n.purge()
+	}
+}
+
+// Restart clears a node's crash flag. The node restarts empty-handed: its
+// pre-crash mailbox was purged, so recovery is the protocol's job (replay
+// and resync), not the transport's.
 func (b *base) Restart(id fabric.NodeID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if !b.crashed[id] {
+		return
+	}
 	delete(b.crashed, id)
+	b.st.restarts.Add(1)
 }
 
 // Partition blocks messages in both directions between a and b.
@@ -251,6 +342,21 @@ func (b *base) Heal(x, y fabric.NodeID) {
 	defer b.mu.Unlock()
 	delete(b.parts, [2]fabric.NodeID{x, y})
 	delete(b.parts, [2]fabric.NodeID{y, x})
+}
+
+// PartitionOneWay blocks messages from -> to only (asymmetric fault: e.g.
+// a switch's acks vanish while updates still flow in).
+func (b *base) PartitionOneWay(from, to fabric.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parts[[2]fabric.NodeID{from, to}] = true
+}
+
+// HealOneWay removes a one-way partition.
+func (b *base) HealOneWay(from, to fabric.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.parts, [2]fabric.NodeID{from, to})
 }
 
 // Crashed reports the node's crash flag.
@@ -270,31 +376,59 @@ func (b *base) Partitioned(from, to fabric.NodeID) bool {
 // Stats snapshots the traffic counters.
 func (b *base) Stats() fabric.Stats { return b.st.snapshot() }
 
+// Resilience snapshots the resilience counters (retries, reconnects,
+// breaker trips, crashes, restarts).
+func (b *base) Resilience() ResilienceStats { return b.st.resilience() }
+
 // admit applies the shared datagram drop rules (unknown, crashed,
 // partitioned destination) and counts the send. It returns the
-// destination node when the message should be delivered.
-func (b *base) admit(from, to fabric.NodeID) (*node, bool) {
+// destination node, or a typed error saying why the send was refused.
+func (b *base) admit(from, to fabric.NodeID) (*node, error) {
 	b.st.sent.Add(1)
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
 		b.st.droppedUnknown.Add(1)
-		return nil, false
+		return nil, ErrFabricClosed
 	}
 	if b.crashed[to] {
 		b.st.droppedCrash.Add(1)
-		return nil, false
+		return nil, ErrNodeCrashed
 	}
 	if b.parts[[2]fabric.NodeID{from, to}] {
 		b.st.droppedPartition.Add(1)
-		return nil, false
+		return nil, ErrPartitioned
 	}
 	n, ok := b.nodes[to]
 	if !ok {
 		b.st.droppedUnknown.Add(1)
-		return nil, false
+		return nil, ErrUnknownNode
 	}
-	return n, true
+	return n, nil
+}
+
+// inject runs the chaos fault filter over an admitted message. It returns
+// the (possibly replaced) message, the number of copies to deliver, the
+// extra injected delay, and ErrInjectedDrop when the filter dropped it.
+// Extra copies are counted as sent, matching simnet's accounting.
+func (b *base) inject(from, to fabric.NodeID, msg fabric.Message, size int) (fabric.Message, int, time.Duration, error) {
+	f := b.getFilter()
+	if f == nil {
+		return msg, 1, 0, nil
+	}
+	act := f(from, to, msg, size)
+	if act.Drop {
+		b.st.droppedInjected.Add(1)
+		return nil, 0, 0, ErrInjectedDrop
+	}
+	if act.Replace != nil {
+		msg = act.Replace
+	}
+	copies := 1 + act.Duplicates
+	if act.Duplicates > 0 {
+		b.st.sent.Add(uint64(act.Duplicates))
+	}
+	return msg, copies, act.Delay, nil
 }
 
 // closeNodes shuts every mailbox and waits for the goroutines to exit.

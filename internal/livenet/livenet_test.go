@@ -185,14 +185,14 @@ func TestTCPReconnect(t *testing.T) {
 	if seq := <-got; seq != 1 {
 		t.Fatalf("first delivery: seq %d", seq)
 	}
-	// Sever the cached connection out from under the sender.
-	pc, err := f.peer("c1", "s1")
+	// Sever the cached connection out from under the link's writer.
+	l, err := f.link("c1", "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc.mu.Lock()
-	pc.conn.Close()
-	pc.mu.Unlock()
+	waitFor(t, 2*time.Second, func() bool { return l.currentConn() != nil },
+		"link to establish a connection")
+	l.currentConn().Close()
 	// The next send hits the dead socket and must reconnect. A close is
 	// not always synchronously visible to the first write (the kernel can
 	// buffer it), so allow a retry send.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"cicero/internal/fabric"
 )
@@ -18,46 +19,63 @@ import (
 const maxFrameBytes = 1 << 22
 
 // TCP is the live backend over localhost TCP sockets. Every registered
-// node gets its own listener on 127.0.0.1 (kernel-assigned port); senders
-// cache one outbound connection per (from, to) pair, lazily dialed, with
-// one reconnect attempt when a cached connection has gone bad. Messages
-// travel as length-prefixed wire-codec frames:
+// node gets its own listener on 127.0.0.1 (kernel-assigned port); each
+// (from, to) pair gets a peer link: a bounded outbound queue drained by a
+// writer goroutine that dials lazily, retries with bounded exponential
+// backoff and jitter under per-attempt deadlines, and sits behind a
+// per-peer circuit breaker that trips after repeated dial failures and
+// probes half-open after a cooldown. Messages travel as length-prefixed
+// wire-codec frames:
 //
 //	[4B frame length][2B sender-id length][sender id][codec bytes]
 //
 // Crash and partition state is enforced at the sending fabric (both ends
-// live in one process in the current harness, sharing that state).
+// live in one process in the current harness, sharing that state); a
+// crash additionally severs the node's sockets — its listener closes, its
+// accepted connections drop, and every peer link touching it shuts down —
+// and a restart re-listens on a fresh port, so recovery exercises real
+// redials.
 type TCP struct {
 	base
 	codec Codec
+	res   Resilience
+	rng   *lockedRand
 
 	lmu       sync.Mutex
+	tclosed   bool
 	addrs     map[fabric.NodeID]string
 	listeners map[fabric.NodeID]net.Listener
-	conns     map[[2]fabric.NodeID]*peerConn
-	lwg       sync.WaitGroup // accept + reader goroutines
+	inbound   map[net.Conn]fabric.NodeID
+	links     map[[2]fabric.NodeID]*peerLink
+	lwg       sync.WaitGroup // accept + reader + link writer goroutines
 }
 
-var _ fabric.Fabric = (*TCP)(nil)
+var (
+	_ fabric.Fabric        = (*TCP)(nil)
+	_ fabric.FaultInjector = (*TCP)(nil)
+)
 
-// peerConn is one cached outbound connection with serialized writes.
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// NewTCP builds a TCP fabric; the codec is required (messages must cross
-// a real wire).
+// NewTCP builds a TCP fabric with DefaultResilience; the codec is
+// required (messages must cross a real wire).
 func NewTCP(codec Codec) (*TCP, error) {
+	return NewTCPWithResilience(codec, DefaultResilience())
+}
+
+// NewTCPWithResilience builds a TCP fabric with an explicit resilience
+// configuration (zero fields take defaults).
+func NewTCPWithResilience(codec Codec, res Resilience) (*TCP, error) {
 	if codec == nil {
 		return nil, errors.New("livenet: tcp fabric requires a codec")
 	}
 	return &TCP{
 		base:      newBase(),
 		codec:     codec,
+		res:       res.withDefaults(),
+		rng:       newLockedRand(time.Now().UnixNano()),
 		addrs:     make(map[fabric.NodeID]string),
 		listeners: make(map[fabric.NodeID]net.Listener),
-		conns:     make(map[[2]fabric.NodeID]*peerConn),
+		inbound:   make(map[net.Conn]fabric.NodeID),
+		links:     make(map[[2]fabric.NodeID]*peerLink),
 	}, nil
 }
 
@@ -69,9 +87,17 @@ func (t *TCP) Register(id fabric.NodeID, h fabric.Handler) {
 	t.base.Register(id, h)
 	t.lmu.Lock()
 	defer t.lmu.Unlock()
+	if t.tclosed {
+		return
+	}
 	if _, ok := t.listeners[id]; ok {
 		return // re-registration replaces the handler only
 	}
+	t.listen(id)
+}
+
+// listen opens the node's listener and starts its accept loop (lmu held).
+func (t *TCP) listen(id fabric.NodeID) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(fmt.Sprintf("livenet: listen for %s: %v", id, err))
@@ -83,7 +109,8 @@ func (t *TCP) Register(id fabric.NodeID, h fabric.Handler) {
 }
 
 // Addr returns the node's listen address (for logging and the
-// multi-process deployment planned in ROADMAP.md).
+// multi-process deployment planned in ROADMAP.md). A crashed node has no
+// address until it restarts.
 func (t *TCP) Addr(id fabric.NodeID) string {
 	t.lmu.Lock()
 	defer t.lmu.Unlock()
@@ -91,7 +118,7 @@ func (t *TCP) Addr(id fabric.NodeID) string {
 }
 
 // acceptLoop accepts inbound connections for one node until its listener
-// closes.
+// closes (fabric shutdown or a crash fault).
 func (t *TCP) acceptLoop(id fabric.NodeID, ln net.Listener) {
 	defer t.lwg.Done()
 	for {
@@ -99,9 +126,24 @@ func (t *TCP) acceptLoop(id fabric.NodeID, ln net.Listener) {
 		if err != nil {
 			return
 		}
+		t.lmu.Lock()
+		if t.tclosed {
+			t.lmu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = id
+		t.lmu.Unlock()
 		t.lwg.Add(1)
 		go t.readLoop(id, conn)
 	}
+}
+
+// dropInbound forgets a finished inbound connection.
+func (t *TCP) dropInbound(conn net.Conn) {
+	t.lmu.Lock()
+	delete(t.inbound, conn)
+	t.lmu.Unlock()
 }
 
 // readLoop parses frames off one inbound connection and delivers them to
@@ -109,6 +151,7 @@ func (t *TCP) acceptLoop(id fabric.NodeID, ln net.Listener) {
 // the connection down (the sender will reconnect).
 func (t *TCP) readLoop(to fabric.NodeID, conn net.Conn) {
 	defer t.lwg.Done()
+	defer t.dropInbound(conn)
 	defer conn.Close()
 	var header [4]byte
 	for {
@@ -135,6 +178,11 @@ func (t *TCP) readLoop(to fabric.NodeID, conn net.Conn) {
 			t.st.droppedUnknown.Add(1)
 			return
 		}
+		if t.Crashed(to) {
+			// The node crashed while the frame was in flight.
+			t.st.droppedCrash.Add(1)
+			continue
+		}
 		n, ok := t.lookup(to)
 		if !ok {
 			t.st.droppedUnknown.Add(1)
@@ -147,27 +195,52 @@ func (t *TCP) readLoop(to fabric.NodeID, conn net.Conn) {
 	}
 }
 
-// Send encodes msg and writes it to the destination's socket, dialing or
-// reconnecting as needed. Drop rules match the other backends.
+// Send encodes msg and hands it to the peer link's writer (fire-and-
+// forget form). Drop rules match the other backends.
 func (t *TCP) Send(from, to fabric.NodeID, msg fabric.Message, size int) {
-	if _, ok := t.admit(from, to); !ok {
-		return
+	_ = t.SendErr(from, to, msg, size)
+}
+
+// SendErr is Send with a typed verdict. It never blocks: a crashed,
+// partitioned, or unknown destination, an injected drop, an encode
+// failure, an open circuit breaker, or a full peer queue all fail fast
+// with the matching typed error. A nil return means the frame was
+// accepted by the peer link's writer; delivery remains best-effort
+// (datagram semantics — the writer's retry budget can still run out).
+func (t *TCP) SendErr(from, to fabric.NodeID, msg fabric.Message, size int) error {
+	if _, err := t.admit(from, to); err != nil {
+		return err
+	}
+	msg, copies, delay, err := t.inject(from, to, msg, size)
+	if err != nil {
+		return err
 	}
 	data, err := t.codec.Encode(msg)
 	if err != nil {
 		t.st.droppedUnknown.Add(1)
-		return
+		return ErrEncode
 	}
 	frame := buildFrame(from, data)
 	if len(frame)-4 > maxFrameBytes {
 		t.st.droppedUnknown.Add(1)
-		return
+		return ErrEncode
 	}
-	if err := t.write(from, to, frame); err != nil {
+	l, err := t.link(from, to)
+	if err != nil {
 		t.st.droppedUnknown.Add(1)
-		return
+		return err
 	}
-	t.st.bytes.Add(uint64(len(frame)))
+	var firstErr error
+	for i := 0; i < copies; i++ {
+		if delay > 0 {
+			time.AfterFunc(delay, func() { _ = l.send(frame) })
+			continue
+		}
+		if err := l.send(frame); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // buildFrame assembles the length-prefixed wire frame.
@@ -181,83 +254,298 @@ func buildFrame(from fabric.NodeID, payload []byte) []byte {
 	return frame
 }
 
-// write sends a frame on the cached (from, to) connection, reconnecting
-// once if the cached connection has gone bad.
-func (t *TCP) write(from, to fabric.NodeID, frame []byte) error {
-	pc, err := t.peer(from, to)
-	if err != nil {
-		return err
-	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.conn == nil {
-		if pc.conn, err = t.dial(to); err != nil {
-			return err
-		}
-	}
-	if _, err = pc.conn.Write(frame); err == nil {
-		return nil
-	}
-	// Reconnect once: the peer may have dropped the connection (idle
-	// teardown, a reader that hit a bad frame) without the node being
-	// down.
-	pc.conn.Close()
-	pc.conn = nil
-	conn, derr := t.dial(to)
-	if derr != nil {
-		return derr
-	}
-	if _, werr := conn.Write(frame); werr != nil {
-		conn.Close()
-		return werr
-	}
-	pc.conn = conn
-	return nil
-}
-
-// peer returns (creating if needed) the connection slot for (from, to).
-func (t *TCP) peer(from, to fabric.NodeID) (*peerConn, error) {
+// link returns (creating if needed) the peer link for (from, to).
+func (t *TCP) link(from, to fabric.NodeID) (*peerLink, error) {
 	key := [2]fabric.NodeID{from, to}
 	t.lmu.Lock()
 	defer t.lmu.Unlock()
+	if t.tclosed {
+		return nil, ErrFabricClosed
+	}
 	if _, ok := t.addrs[to]; !ok {
-		return nil, fmt.Errorf("livenet: no listener for %s", to)
+		return nil, ErrUnknownNode
 	}
-	pc, ok := t.conns[key]
+	l, ok := t.links[key]
 	if !ok {
-		pc = &peerConn{}
-		t.conns[key] = pc
+		l = &peerLink{
+			t:    t,
+			from: from,
+			to:   to,
+			outq: make(chan []byte, t.res.QueueLen),
+			done: make(chan struct{}),
+			brk: newBreaker(t.res.BreakerThreshold, t.res.BreakerCooldown,
+				func() { t.st.breakerTrips.Add(1) }),
+		}
+		t.links[key] = l
+		t.lwg.Add(1)
+		go l.run()
 	}
-	return pc, nil
+	return l, nil
 }
 
-// dial opens a connection to the node's current listen address.
+// dial opens a connection to the node's current listen address, bounded
+// by the configured dial timeout.
 func (t *TCP) dial(to fabric.NodeID) (net.Conn, error) {
 	t.lmu.Lock()
 	addr, ok := t.addrs[to]
 	t.lmu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("livenet: no listener for %s", to)
+		return nil, ErrUnknownNode
 	}
-	return net.Dial("tcp", addr)
+	return net.DialTimeout("tcp", addr, t.res.DialTimeout)
 }
 
-// Close tears down listeners, connections, and mailboxes, then waits for
-// every fabric goroutine to exit.
-func (t *TCP) Close() {
+// Crash marks the node failed and severs its sockets: its listener
+// closes, its accepted inbound connections drop, and every peer link
+// touching it shuts down. Queued frames on those links are lost — the
+// volatile-state semantics of a real crash.
+func (t *TCP) Crash(id fabric.NodeID) {
+	t.base.Crash(id)
 	t.lmu.Lock()
-	for _, ln := range t.listeners {
-		ln.Close()
-	}
-	for _, pc := range t.conns {
-		pc.mu.Lock()
-		if pc.conn != nil {
-			pc.conn.Close()
-			pc.conn = nil
+	ln := t.listeners[id]
+	delete(t.listeners, id)
+	delete(t.addrs, id)
+	var conns []net.Conn
+	for c, owner := range t.inbound {
+		if owner == id {
+			conns = append(conns, c)
 		}
-		pc.mu.Unlock()
+	}
+	var links []*peerLink
+	for key, l := range t.links {
+		if key[0] == id || key[1] == id {
+			links = append(links, l)
+			delete(t.links, key)
+		}
 	}
 	t.lmu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, l := range links {
+		l.close()
+	}
+}
+
+// Restart clears the crash flag and brings the node back on a fresh
+// listener (new kernel-assigned port — senders discover it on their next
+// dial). The node's volatile transport state is gone; protocol-level
+// recovery is the application's job.
+func (t *TCP) Restart(id fabric.NodeID) {
+	t.base.Restart(id)
+	if _, ok := t.lookup(id); !ok {
+		return
+	}
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	if t.tclosed {
+		return
+	}
+	if _, ok := t.listeners[id]; !ok {
+		t.listen(id)
+	}
+}
+
+// Close tears down listeners, connections, links, and mailboxes, then
+// waits for every fabric goroutine to exit.
+func (t *TCP) Close() {
+	t.lmu.Lock()
+	if t.tclosed {
+		t.lmu.Unlock()
+		t.closeNodes()
+		return
+	}
+	t.tclosed = true
+	listeners := t.listeners
+	t.listeners = make(map[fabric.NodeID]net.Listener)
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	links := make([]*peerLink, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
+	}
+	t.lmu.Unlock()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, l := range links {
+		l.close()
+	}
 	t.lwg.Wait()
 	t.closeNodes()
+}
+
+// peerLink is one (from, to) outbound path: a bounded queue drained by a
+// writer goroutine behind a circuit breaker.
+type peerLink struct {
+	t        *TCP
+	from, to fabric.NodeID
+	outq     chan []byte
+	done     chan struct{}
+	once     sync.Once
+	brk      *breaker
+
+	// cmu guards conn; the writer goroutine owns the connection lifecycle
+	// but crash severing (and tests) close it from outside.
+	cmu       sync.Mutex
+	conn      net.Conn
+	connected bool // a connection has existed before (reconnect accounting)
+}
+
+// send enqueues one frame, failing fast when the breaker is open, the
+// link is shut down, or the bounded queue is full.
+func (l *peerLink) send(frame []byte) error {
+	if l.brk.Rejecting(time.Now()) {
+		l.t.st.droppedUnknown.Add(1)
+		return ErrPeerUnreachable
+	}
+	select {
+	case <-l.done:
+		l.t.st.droppedUnknown.Add(1)
+		return ErrPeerUnreachable
+	default:
+	}
+	select {
+	case l.outq <- frame:
+		return nil
+	default:
+		l.t.st.droppedUnknown.Add(1)
+		return ErrSendQueueFull
+	}
+}
+
+// close shuts the link down; the writer goroutine exits and closes the
+// connection.
+func (l *peerLink) close() {
+	l.once.Do(func() { close(l.done) })
+}
+
+// run is the writer goroutine: it drains the queue, transmitting each
+// frame with the retry/backoff/deadline budget.
+func (l *peerLink) run() {
+	defer l.t.lwg.Done()
+	defer l.closeConn()
+	for {
+		select {
+		case <-l.done:
+			return
+		case frame := <-l.outq:
+			if err := l.transmit(frame); err != nil {
+				l.t.st.droppedUnknown.Add(1)
+			}
+		}
+	}
+}
+
+// transmit writes one frame, dialing as needed, with bounded retries.
+func (l *peerLink) transmit(frame []byte) error {
+	res := l.t.res
+	var lastErr error
+	for attempt := 1; attempt <= res.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			l.t.st.retries.Add(1)
+			if !l.wait(res.Backoff.Delay(attempt-1, l.t.rng.Float64)) {
+				return ErrPeerUnreachable // link shut down mid-backoff
+			}
+		}
+		conn := l.currentConn()
+		if conn == nil {
+			now := time.Now()
+			if !l.brk.Allow(now) {
+				lastErr = ErrPeerUnreachable
+				continue
+			}
+			c, err := l.t.dial(l.to)
+			if err != nil {
+				l.brk.Failure(time.Now())
+				lastErr = err
+				continue
+			}
+			l.brk.Success()
+			conn = c
+			if !l.setConn(c) {
+				return ErrPeerUnreachable // link closed while dialing
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(res.WriteTimeout))
+		if _, err := conn.Write(frame); err != nil {
+			l.dropConn(conn)
+			lastErr = err
+			continue
+		}
+		l.t.st.bytes.Add(uint64(len(frame)))
+		return nil
+	}
+	return lastErr
+}
+
+// wait sleeps for the backoff delay, returning false if the link shuts
+// down first.
+func (l *peerLink) wait(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-l.done:
+		return false
+	}
+}
+
+// currentConn reads the cached connection.
+func (l *peerLink) currentConn() net.Conn {
+	l.cmu.Lock()
+	defer l.cmu.Unlock()
+	return l.conn
+}
+
+// setConn installs a freshly dialed connection, counting a reconnect when
+// it replaces an earlier one. It refuses (closing the connection) when
+// the link has shut down meanwhile.
+func (l *peerLink) setConn(c net.Conn) bool {
+	select {
+	case <-l.done:
+		c.Close()
+		return false
+	default:
+	}
+	l.cmu.Lock()
+	if l.connected {
+		l.t.st.reconnects.Add(1)
+	}
+	l.connected = true
+	l.conn = c
+	l.cmu.Unlock()
+	return true
+}
+
+// dropConn discards a failed connection (only if still current).
+func (l *peerLink) dropConn(c net.Conn) {
+	c.Close()
+	l.cmu.Lock()
+	if l.conn == c {
+		l.conn = nil
+	}
+	l.cmu.Unlock()
+}
+
+// closeConn closes whatever connection the link holds.
+func (l *peerLink) closeConn() {
+	l.cmu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.cmu.Unlock()
 }

@@ -15,6 +15,26 @@ type CounterSet struct {
 	counts map[string]uint64
 }
 
+// Canonical counter names for transport-resilience accounting. Livenet
+// backends count these internally (livenet.ResilienceStats); reports and
+// chaos campaigns fold them into a CounterSet under these names so
+// BENCH_live.json and campaign tables stay comparable across layers.
+const (
+	// CounterRetry: frame (re)transmission attempts beyond the first.
+	CounterRetry = "retry"
+	// CounterReconnect: successful redials after a connection went bad.
+	CounterReconnect = "reconnect"
+	// CounterBreakerTrip: per-peer circuit-breaker closed -> open events.
+	CounterBreakerTrip = "breaker-trip"
+	// CounterCrash: fault-plane node crashes.
+	CounterCrash = "crash"
+	// CounterRestart: fault-plane node restarts.
+	CounterRestart = "restart"
+	// CounterRecovery: protocol-level crash recoveries completed
+	// (controller state transfer adopted, switch resync served).
+	CounterRecovery = "recovery"
+)
+
 // NewCounterSet returns an empty counter set.
 func NewCounterSet() *CounterSet {
 	return &CounterSet{counts: make(map[string]uint64)}

@@ -105,6 +105,11 @@ type MsgUpdate struct {
 	// centralized and crash-tolerant baselines.
 	ShareIndex uint32
 	Share      []byte
+	// Resend marks a recovery retransmission: a switch that already
+	// applied the update re-acknowledges instead of silently dropping the
+	// duplicate. Ordinary quorum traffic leaves it false so late shares do
+	// not amplify into ack storms.
+	Resend bool
 }
 
 // MsgAggUpdate is an aggregator-combined update carrying the full
@@ -114,6 +119,8 @@ type MsgAggUpdate struct {
 	Mods      []openflow.FlowMod
 	Phase     uint64
 	Signature []byte
+	// Resend marks a recovery retransmission (see MsgUpdate.Resend).
+	Resend bool
 }
 
 // Ack is a switch's acknowledgement that an update was applied.
@@ -276,6 +283,37 @@ type MsgReshareSub struct {
 type MsgHeartbeat struct {
 	From pki.Identity
 	Seq  uint64
+}
+
+// MsgRecoverRequest is a restarted controller's plea for state: it lost
+// all volatile state in a crash and asks its peers for the delivered
+// event history and the atomic broadcast's coordinates.
+type MsgRecoverRequest struct {
+	From  pki.Identity
+	Phase uint64
+}
+
+// MsgRecoverState is one peer's answer to a MsgRecoverRequest: the
+// canonical encodings of every event it has appended to its audit ledger,
+// in broadcast delivery order, plus its broadcast coordinates. The
+// recovering controller adopts only a prefix vouched for by f+1
+// pairwise-consistent responses, so a single Byzantine peer cannot feed
+// it fabricated history.
+type MsgRecoverState struct {
+	From          pki.Identity
+	Phase         uint64
+	View          uint64
+	LastDelivered uint64
+	Events        [][]byte
+}
+
+// MsgResyncRequest is a restarted switch's plea for its flow table: it
+// asks every controller to retransmit (with Resend set and fresh
+// signature shares) the updates previously dispatched to it. The flow
+// table rebuilds through the normal quorum-authenticated path, so a
+// forged resync answer is no more powerful than a forged update.
+type MsgResyncRequest struct {
+	Switch string
 }
 
 // MsgBFT wraps an atomic-broadcast protocol message between two

@@ -74,6 +74,9 @@ func NewWireCodec(params *pairing.Params) *WireCodec {
 	registerJSON[MsgAggUpdate](c, "agg-update")
 	registerJSON[MsgConfigShare](c, "config-share")
 	registerJSON[MsgHeartbeat](c, "heartbeat")
+	registerJSON[MsgRecoverRequest](c, "recover-request")
+	registerJSON[MsgRecoverState](c, "recover-state")
+	registerJSON[MsgResyncRequest](c, "resync-request")
 	registerJSON[MsgReshareSub](c, "reshare-sub")
 	c.register(reflect.TypeOf(MsgConfig{}), "config", encodeConfig, decodeConfig)
 	c.register(reflect.TypeOf(MsgStateTransfer{}), "state-transfer", encodeStateTransfer, decodeStateTransfer)

@@ -61,6 +61,10 @@ func wireSamples(t testing.TB) []fabric.Message {
 		MsgReshareDeal{Phase: 5, Deal: &dkg.ReshareDeal{Dealer: 1, DealerSet: []uint32{1, 2, 3}, Commitments: gk.Commitments}},
 		MsgReshareSub{Phase: 5, Sub: dkg.SubShare{Dealer: 1, Recipient: 4, Value: big.NewInt(123456789)}},
 		MsgHeartbeat{From: members[2], Seq: 42},
+		MsgRecoverRequest{From: members[1], Phase: 4},
+		MsgRecoverState{From: members[2], Phase: 4, View: 1, LastDelivered: 9,
+			Events: [][]byte{[]byte(`{"id":"h1/7"}`), []byte(`{"id":"h2/1"}`)}},
+		MsgResyncRequest{Switch: "s1"},
 		MsgBFT{Phase: 4, Inner: bft.Prepare{View: 1, Seq: 2, Digest: digest, Replica: 3}},
 		bft.Request{Origin: 2, Payload: []byte("payload")},
 		bft.PrePrepare{View: 1, Seq: 2, Digest: digest, Payload: []byte("payload")},

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"fmt"
+	"sort"
 
 	"cicero/internal/openflow"
 )
@@ -213,3 +214,21 @@ func (e *Engine) Waiting() int { return len(e.waiting) }
 // InFlight returns the number of updates released but not yet
 // acknowledged.
 func (e *Engine) InFlight() int { return e.inFlight }
+
+// Unacked returns the ids of updates that were released to their switches
+// but have not been acknowledged, in deterministic (sorted) order. A
+// recovery layer uses this to retransmit in-flight updates after faults:
+// the dispatch may have died with a crashed switch or a severed link.
+func (e *Engine) Unacked() []openflow.MsgID {
+	ids := make([]openflow.MsgID, 0, len(e.released))
+	for id := range e.released {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Origin != ids[j].Origin {
+			return ids[i].Origin < ids[j].Origin
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	return ids
+}

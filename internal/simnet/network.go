@@ -14,28 +14,17 @@ var _ fabric.Fabric = (*Network)(nil)
 // LatencyFunc returns the one-way propagation latency between two nodes.
 type LatencyFunc func(from, to NodeID) time.Duration
 
-// FaultAction tells the network what to do with one in-flight message. The
-// zero value means "deliver normally". Fields compose: a message can be
-// replaced, delayed, and duplicated in one action; Drop wins over the rest.
-type FaultAction struct {
-	// Drop discards the message (counted as an injected drop).
-	Drop bool
-	// Delay adds extra latency on top of the link's own delay.
-	Delay time.Duration
-	// Duplicates injects this many extra copies of the message, each with
-	// independently computed link delay (so copies may reorder).
-	Duplicates int
-	// Replace, when non-nil, substitutes the delivered payload (corruption
-	// and Byzantine mutation). The original msg is left untouched; filters
-	// must deep-copy before mutating shared structures.
-	Replace Message
-}
+// FaultAction and Filter are the fabric-level fault-plane types; they are
+// aliased here (like NodeID and Message) because the chaos engine was
+// originally written against simnet. On simnet the filter runs
+// synchronously on the simulator loop, so any randomness it uses must come
+// from a deterministic source for runs to stay reproducible.
+type (
+	FaultAction = fabric.FaultAction
+	Filter      = fabric.Filter
+)
 
-// Filter inspects every message that passed the crash/partition checks and
-// decides its fate. It runs synchronously on the simulator loop, so any
-// randomness it uses must come from a deterministic source for runs to stay
-// reproducible. A nil filter delivers everything normally.
-type Filter func(from, to NodeID, msg Message, size int) FaultAction
+var _ fabric.FaultInjector = (*Network)(nil)
 
 // Network delivers messages between registered nodes over the simulator,
 // imposing latency, serialization delay, jitter, crash faults, and
