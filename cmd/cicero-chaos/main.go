@@ -51,6 +51,8 @@ func run() int {
 		live        = flag.String("live", "", "run wall-clock on a live backend: inproc | tcp (empty = simulator)")
 		flowWindow  = flag.Int("flow-window-ms", 0, "live: wall-clock fault/flow window in ms (0 = default)")
 		drainSecs   = flag.Int("drain-s", 0, "live: drain/convergence timeout in seconds (0 = default)")
+		batch       = flag.Int("batch", 0, "batch size (>1 runs the batched hot path under the campaign)")
+		batchDelay  = flag.Duration("batch-delay", 0, "max wait before a partial batch is ordered (default 5ms)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,8 @@ func run() int {
 		p.Controllers = *controllers
 	}
 	p.CanarySkipVerify = *canary
+	p.BatchSize = *batch
+	p.BatchDelay = *batchDelay
 
 	if *live != "" {
 		if *replay >= 0 {
@@ -195,7 +199,7 @@ func runLive(p chaos.Profile, opt chaos.LiveOptions, seedStart int64, seeds int,
 		}
 		for _, v := range res.Violations {
 			fmt.Printf("  %s\n", v)
-			if v.Invariant == chaos.InvNoForgedRule {
+			if v.Invariant == chaos.InvNoForgedRule || v.Invariant == chaos.InvBatchProof {
 				caught++
 			}
 		}

@@ -37,6 +37,8 @@ func run() int {
 		quick      = flag.Bool("quick", false, "shrink topology and flow counts for a fast pass")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-leg completion timeout")
 		out        = flag.String("out", "", "write the JSON report to this file (default stdout only)")
+		batch      = flag.Int("batch", 0, "batch size (>1 enables batched ordering and batch-amortized signing)")
+		batchDelay = flag.Duration("batch-delay", 0, "max wait before a partial batch is ordered (default 5ms)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func run() int {
 		Quick:       *quick,
 		Seed:        *seed,
 		Timeout:     *timeout,
+		BatchSize:   *batch,
+		BatchDelay:  *batchDelay,
 	}
 	report, err := experiments.RunLiveAll(opt, backends)
 	if err != nil {

@@ -62,6 +62,11 @@ type Timer func(d time.Duration, fn func())
 // order, on every correct replica.
 type DeliverFunc func(seq uint64, payload []byte)
 
+// DeliverBatchFunc receives a totally-ordered batch of payloads that won
+// agreement together in one slot. All correct replicas observe the same
+// batches with the same internal order.
+type DeliverBatchFunc func(seq uint64, payloads [][]byte)
+
 // Message is the union of protocol messages (exported fields only, so the
 // enclosing layers can serialize/seal them).
 type Message any
@@ -145,6 +150,16 @@ type Config struct {
 	// before the replica votes to change views. Zero disables the timer
 	// (used by tests that drive view changes manually).
 	ViewChangeTimeout time.Duration
+	// BatchSize > 1 enables batched ordering: the primary accumulates up
+	// to BatchSize payloads per agreement slot. <= 1 orders per payload.
+	BatchSize int
+	// BatchDelay bounds how long a non-full batch waits before it is
+	// proposed anyway. Zero means DefaultBatchDelay.
+	BatchDelay time.Duration
+	// DeliverBatch, when set alongside BatchSize > 1, receives whole
+	// delivered batches; otherwise batch members are handed to Deliver
+	// one by one in batch order.
+	DeliverBatch DeliverBatchFunc
 }
 
 // Errors returned by the package.
@@ -177,11 +192,13 @@ type Replica struct {
 	lastDelivered uint64
 	slots         map[uint64]*slot
 
-	pendingOwn     [][]byte          // submitted here, not yet delivered
-	pendingForeign map[Digest][]byte // rebroadcast by stuck peers, monitored for liveness
-	sequenced      map[Digest]bool   // digests already proposed or delivered
-	viewChanges    map[uint64]map[ReplicaID]*ViewChange
-	timerArmed     bool
+	pendingOwn      [][]byte          // submitted here, not yet delivered
+	pendingForeign  map[Digest][]byte // rebroadcast by stuck peers, monitored for liveness
+	sequenced       map[Digest]bool   // digests already proposed or delivered
+	viewChanges     map[uint64]map[ReplicaID]*ViewChange
+	batchBuf        [][]byte // primary: open batch awaiting size or delay bound
+	batchTimerArmed bool
+	timerArmed      bool
 	// timeoutScale backs the view-change timeout off exponentially while
 	// no progress happens, preventing view-change storms under overload;
 	// it resets on every delivery.
@@ -270,17 +287,26 @@ func (r *Replica) Submit(payload []byte) {
 	r.cfg.Transport.Send(r.Primary(r.view), Request{Origin: r.cfg.ID, Payload: payload})
 }
 
-// propose assigns the next sequence number and broadcasts a pre-prepare.
-// Payloads already sequenced (or delivered) are skipped, deduplicating
-// retransmitted requests.
+// propose sequences a payload (primary only). Payloads already sequenced
+// (or delivered) are skipped, deduplicating retransmitted requests. With
+// batching enabled the payload joins the open batch instead of getting a
+// slot of its own.
 func (r *Replica) propose(payload []byte) {
-	d := digestOf(payload)
-	if r.sequenced[d] {
+	if r.batching() {
+		r.enqueueBatch(payload)
 		return
 	}
+	if r.sequenced[digestOf(payload)] {
+		return
+	}
+	r.proposeRaw(payload)
+}
+
+// proposeRaw assigns the next sequence number and broadcasts a pre-prepare.
+func (r *Replica) proposeRaw(payload []byte) {
 	r.nextSeq++
 	seq := r.nextSeq
-	pp := PrePrepare{View: r.view, Seq: seq, Digest: d, Payload: append([]byte(nil), payload...)}
+	pp := PrePrepare{View: r.view, Seq: seq, Digest: digestOf(payload), Payload: append([]byte(nil), payload...)}
 	r.broadcast(pp)
 	r.handlePrePrepare(pp) // self-delivery
 }
@@ -356,6 +382,9 @@ func (r *Replica) handlePrePrepare(pp PrePrepare) {
 	s.payload = append([]byte(nil), pp.Payload...)
 	r.sequenced[pp.Digest] = true
 	delete(r.pendingForeign, pp.Digest)
+	if r.batching() {
+		r.markBatchSequenced(pp.Payload)
+	}
 	if pp.Seq > r.nextSeq {
 		r.nextSeq = pp.Seq // keep in sync for future primariness
 	}
@@ -427,7 +456,21 @@ func (r *Replica) deliverReady() {
 		r.timeoutScale = 0
 		r.dropPendingOwn(s.payload)
 		delete(r.pendingForeign, s.digest)
-		if r.cfg.Deliver != nil && len(s.payload) > 0 {
+		if subs, ok := r.decodeIfBatch(s.payload); ok {
+			for _, sub := range subs {
+				r.dropPendingOwn(sub)
+				delete(r.pendingForeign, digestOf(sub))
+			}
+			if r.cfg.DeliverBatch != nil {
+				r.cfg.DeliverBatch(next, subs)
+			} else if r.cfg.Deliver != nil {
+				for _, sub := range subs {
+					if len(sub) > 0 {
+						r.cfg.Deliver(next, sub)
+					}
+				}
+			}
+		} else if r.cfg.Deliver != nil && len(s.payload) > 0 {
 			r.cfg.Deliver(next, s.payload) // null requests advance the sequence silently
 		}
 		r.gc()
@@ -594,18 +637,11 @@ func (r *Replica) becomePrimary(view uint64, votes map[ReplicaID]*ViewChange) {
 	r.applyNewView(nv)
 	// Re-propose our own stuck submissions not covered by the merge.
 	for _, payload := range append([][]byte(nil), r.pendingOwn...) {
-		d := digestOf(payload)
-		covered := false
-		for _, pp := range pps {
-			if pp.Digest == d {
-				covered = true
-				break
-			}
-		}
-		if !covered {
+		if !coveredByProposals(pps, payload) {
 			r.propose(payload)
 		}
 	}
+	r.flushBatch() // don't make re-proposals wait out the batch delay
 }
 
 func (r *Replica) handleNewView(from ReplicaID, nv NewView) {
@@ -617,15 +653,7 @@ func (r *Replica) handleNewView(from ReplicaID, nv NewView) {
 	r.applyNewView(nv)
 	// Resubmit our own pending requests to the new primary.
 	for _, payload := range append([][]byte(nil), r.pendingOwn...) {
-		d := digestOf(payload)
-		covered := false
-		for _, pp := range nv.PrePrepares {
-			if pp.Digest == d {
-				covered = true
-				break
-			}
-		}
-		if !covered {
+		if !coveredByProposals(nv.PrePrepares, payload) {
 			r.cfg.Transport.Send(r.Primary(r.view), Request{Origin: r.cfg.ID, Payload: payload})
 		}
 	}
@@ -641,11 +669,20 @@ func (r *Replica) applyNewView(nv NewView) {
 
 // resetUndelivered clears agreement state of undelivered slots when
 // entering a new view (they will be re-proposed, so their digests become
-// proposable again).
+// proposable again). An open batch is abandoned the same way: its members
+// survive in pendingOwn (local submissions) or at their origin replicas
+// (forwarded requests) and re-enter through the new view's resubmissions.
 func (r *Replica) resetUndelivered() {
+	for _, p := range r.batchBuf {
+		delete(r.sequenced, digestOf(p))
+	}
+	r.batchBuf = nil
 	for seq, s := range r.slots {
 		if !s.delivered {
 			delete(r.sequenced, s.digest)
+			if r.batching() {
+				r.unmarkBatchSequenced(s.payload)
+			}
 			delete(r.slots, seq)
 		}
 	}

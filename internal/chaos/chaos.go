@@ -95,6 +95,14 @@ type Profile struct {
 	CheckInterval time.Duration
 
 	ViewChangeTimeout time.Duration
+
+	// BatchSize > 1 runs the batched hot path (batched BFT ordering plus
+	// batch-amortized signing with Merkle inclusion proofs) under the same
+	// fault families; the Byzantine controller additionally forges batch
+	// roots and splices rule content under honest proofs, and the
+	// batch-proof invariant re-verifies every batched apply.
+	BatchSize  int
+	BatchDelay time.Duration
 }
 
 // Defaulted fills zero fields and enforces cross-field requirements.
@@ -257,10 +265,15 @@ func RunSeed(p Profile, seed int64) SeedResult {
 		counter: metrics.NewCounterSet(),
 	}
 
-	// The apply hook is wired before the checker exists; late-bind it.
+	// The apply hooks are wired before the checker exists; late-bind them.
 	hook := func(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool) {
 		if r.ck != nil {
 			r.ck.onApply(sw, id, phase, mods, valid)
+		}
+	}
+	batchHook := func(sw string, m protocol.MsgBatchUpdate, valid bool) {
+		if r.ck != nil {
+			r.ck.onBatchApply(sw, m, valid)
 		}
 	}
 	n, err := core.Build(core.Config{
@@ -274,6 +287,9 @@ func RunSeed(p Profile, seed int64) SeedResult {
 		Jitter:               0.1,
 		ViewChangeTimeout:    p.ViewChangeTimeout,
 		SwitchApplyHook:      hook,
+		SwitchBatchHook:      batchHook,
+		BatchSize:            p.BatchSize,
+		BatchDelay:           p.BatchDelay,
 	})
 	if err != nil {
 		res.Err = err.Error()

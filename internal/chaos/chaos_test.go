@@ -86,6 +86,84 @@ func TestByzantineRejectedWithoutCanary(t *testing.T) {
 	}
 }
 
+// batchProfile turns on the batched hot path for a campaign profile.
+func batchProfile(p Profile) Profile {
+	p.BatchSize = 8
+	return p
+}
+
+// TestBatchedMixedCampaignNoViolations runs the acceptance campaign with
+// the batched hot path on: every fault family — including the Byzantine
+// batch mutations (forged roots, content splices, garbage root shares) —
+// against batch ordering and batch-amortized signing, with zero invariant
+// violations and the batch path demonstrably exercised.
+func TestBatchedMixedCampaignNoViolations(t *testing.T) {
+	p := batchProfile(fastProfile(MixedProfile()))
+	batchApplies := 0
+	for _, seed := range Seeds(1, 8) {
+		res := RunSeed(p, seed)
+		if res.Err != "" {
+			t.Fatalf("seed %d: run error: %s", seed, res.Err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: violation: %s", seed, v)
+		}
+		for _, e := range res.Trace.Events() {
+			if e.Kind == "batch-apply" {
+				batchApplies++
+			}
+		}
+	}
+	if batchApplies == 0 {
+		t.Fatal("no batch-amortized update was ever applied; the batched path never engaged")
+	}
+}
+
+// TestBatchedByzantineRejected proves the Merkle binding: with real
+// verification on, every forged-root, content-splice, and fabricated batch
+// quorum from the Byzantine controller is rejected and the campaign stays
+// violation-free.
+func TestBatchedByzantineRejected(t *testing.T) {
+	p := batchProfile(fastProfile(ByzantineProfile()))
+	var rejected uint64
+	for _, seed := range Seeds(1, 4) {
+		res := RunSeed(p, seed)
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: unexpected violations: %v", seed, res.Violations)
+		}
+		rejected += res.UpdatesRejected
+	}
+	if rejected == 0 {
+		t.Fatal("no forged batch update was ever rejected; Byzantine batch injection exercised nothing")
+	}
+}
+
+// TestBatchedCanaryCaught plants the verification-bypass canary under the
+// batched path: forged batch content then applies, and the independent
+// proof re-check must surface it as a forged-batch-proof violation.
+func TestBatchedCanaryCaught(t *testing.T) {
+	p := batchProfile(fastProfile(ByzantineProfile()))
+	p.CanarySkipVerify = true
+	caught := false
+	for _, seed := range Seeds(1, 6) {
+		res := RunSeed(p, seed)
+		for _, v := range res.Violations {
+			if v.Invariant == InvBatchProof {
+				caught = true
+				if len(v.Trace) == 0 {
+					t.Errorf("violation without a related trace: %s", v)
+				}
+			}
+		}
+		if caught {
+			break
+		}
+	}
+	if !caught {
+		t.Fatal("canary (verification bypass) was never caught by the forged-batch-proof invariant")
+	}
+}
+
 func TestProfileByName(t *testing.T) {
 	for _, name := range []string{"links", "crash", "partitions", "byzantine", "mixed"} {
 		p, err := ProfileByName(name)

@@ -99,6 +99,18 @@ func corruptMessage(msg simnet.Message) simnet.Message {
 	case protocol.MsgAggUpdate:
 		m.Signature = flip(m.Signature)
 		return m
+	case protocol.MsgBatchUpdate:
+		if len(m.Share) > 0 {
+			m.Share = flip(m.Share)
+		} else if len(m.Proof) > 0 {
+			proof := make([][]byte, len(m.Proof))
+			copy(proof, m.Proof)
+			proof[0] = flip(proof[0])
+			m.Proof = proof
+		} else {
+			m.ShareIndex = 0 // malformed share
+		}
+		return m
 	}
 	return nil
 }
@@ -113,6 +125,14 @@ func (in *injector) byzMutate(to simnet.NodeID, msg simnet.Message) simnet.Messa
 	switch m := msg.(type) {
 	case protocol.MsgUpdate:
 		out, kind := byzMutateUpdate(r.rng, len(r.ctls), m)
+		if kind == "" {
+			return nil
+		}
+		r.counter.Add(kind, 1)
+		r.tr.Add(r.net.Sim.Now(), kind, fmt.Sprintf("->%s %s", to, out.UpdateID))
+		return out
+	case protocol.MsgBatchUpdate:
+		out, kind := byzMutateBatch(r.rng, m)
 		if kind == "" {
 			return nil
 		}
@@ -150,6 +170,32 @@ func byzMutateUpdate(rng *rand.Rand, nctls int, m protocol.MsgUpdate) (protocol.
 	default: // stale-epoch share
 		m.Phase += 1000
 		return m, "byz-stale-phase"
+	}
+}
+
+// byzMutateBatch applies one of the batch-path mutations: a forged batch
+// root (the inclusion proof can no longer verify), a content splice (the
+// rule bytes change under the honest root and proof — exactly what the
+// Merkle binding must reject), or a garbage root share (the per-batch
+// aggregate must fail and keep the batch pending for honest shares).
+func byzMutateBatch(rng *rand.Rand, m protocol.MsgBatchUpdate) (protocol.MsgBatchUpdate, string) {
+	if rng.Float64() >= byzMutateProb {
+		return m, ""
+	}
+	switch rng.Intn(3) {
+	case 0: // forged batch root
+		m.BatchRoot = garbageBytes(rng, len(m.BatchRoot))
+		return m, "byz-forged-root"
+	case 1: // splice forged rule content under the honest root+proof
+		mods := append([]openflow.FlowMod(nil), m.Mods...)
+		for i := range mods {
+			mods[i].Rule.Action = openflow.Action{Type: openflow.ActionOutput, NextHop: "byz/blackhole"}
+		}
+		m.Mods = mods
+		return m, "byz-batch-splice"
+	default: // garbage root share
+		m.Share = garbageBytes(rng, len(m.Share))
+		return m, "byz-bad-root-share"
 	}
 }
 

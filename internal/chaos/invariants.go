@@ -8,7 +8,9 @@ import (
 	"cicero/internal/audit"
 	"cicero/internal/controlplane"
 	"cicero/internal/openflow"
+	"cicero/internal/protocol"
 	"cicero/internal/simnet"
+	"cicero/internal/tcrypto/merkle"
 )
 
 // Violation is one invariant breach with the minimal related sub-trace.
@@ -43,6 +45,12 @@ const (
 	// events in the same order (total-order safety of the atomic
 	// broadcast), observed through their hash-chained audit ledgers.
 	InvBFTAgreement = "bft-agreement"
+	// InvBatchProof: every batch-amortized update a switch applies as
+	// valid must carry a Merkle inclusion proof that actually binds the
+	// update's content to the claimed batch root. The checker re-runs the
+	// proof independently of the switch (so the verification-bypass canary
+	// and any forged-root or content-splice mutation surface here).
+	InvBatchProof = "forged-batch-proof"
 )
 
 // checker evaluates the invariant plane. All its entry points run
@@ -129,6 +137,28 @@ func (ck *checker) onApply(sw string, id openflow.MsgID, phase uint64, mods []op
 		ck.report(InvNoForgedRule, fmt.Sprintf("%s|%s", sw, id),
 			fmt.Sprintf("switch %s applied update %s (phase %d) that no honest controller committed", sw, id, phase),
 			id.String())
+	}
+}
+
+// onBatchApply observes every batch-amortized apply decision (wired
+// through the dataplane BatchApplyHook). It re-verifies the Merkle
+// inclusion proof with its own hashing — never trusting the switch's
+// verdict — so a switch that applied forged batch content (bypassed or
+// broken verification) is caught even though the root signature itself
+// only covers the root.
+func (ck *checker) onBatchApply(sw string, m protocol.MsgBatchUpdate, valid bool) {
+	now := ck.r.net.Sim.Now()
+	ck.r.tr.Add(now, "batch-apply", fmt.Sprintf("sw=%s update=%s phase=%d leaf=%d/%d valid=%v",
+		sw, m.UpdateID, m.Phase, m.LeafIndex, m.LeafCount, valid))
+	if !valid {
+		return // a rejected batch update is the protocol working
+	}
+	leaf := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, m.Mods)
+	if !merkle.Verify(m.BatchRoot, leaf, m.LeafIndex, m.LeafCount, m.Proof) {
+		ck.report(InvBatchProof, fmt.Sprintf("%s|%s", sw, m.UpdateID),
+			fmt.Sprintf("switch %s applied batched update %s (phase %d) whose inclusion proof does not verify against root %x",
+				sw, m.UpdateID, m.Phase, m.BatchRoot),
+			m.UpdateID.String())
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"cicero/internal/metrics"
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
+	"cicero/internal/tcrypto/merkle"
 	"cicero/internal/topology"
 )
 
@@ -197,11 +198,12 @@ func (f *liveFlow) isDone() bool {
 // fault counters, and the apply log all take writes from mailbox and
 // sender goroutines.
 type liveRecorder struct {
-	mu      sync.Mutex
-	tr      *Trace
-	counter *metrics.CounterSet
-	now     func() fabric.Time
-	applies []liveApply
+	mu           sync.Mutex
+	tr           *Trace
+	counter      *metrics.CounterSet
+	now          func() fabric.Time
+	applies      []liveApply
+	batchApplies []liveBatchApply
 }
 
 // liveApply is one switch apply decision, reduced for the forged-rule
@@ -234,6 +236,32 @@ func (rec *liveRecorder) violation(invariant, detail, token string) []TraceEvent
 	defer rec.mu.Unlock()
 	rec.tr.Add(rec.now(), "violation", invariant+": "+detail)
 	return rec.tr.Related(token, 12)
+}
+
+// liveBatchApply is one batch-amortized apply decision. The Merkle
+// inclusion proof is re-verified at record time (pure hashing, cheap, and
+// the message's backing arrays may be reused once the mailbox moves on);
+// the convergence sweep judges the stored verdicts.
+type liveBatchApply struct {
+	sw      string
+	id      openflow.MsgID
+	phase   uint64
+	valid   bool
+	proofOK bool
+}
+
+// onBatchApply observes batch-amortized applies (dataplane BatchApplyHook),
+// re-running the inclusion proof independently of the switch's verdict.
+func (rec *liveRecorder) onBatchApply(sw string, m protocol.MsgBatchUpdate, valid bool) {
+	leaf := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, m.Mods)
+	proofOK := merkle.Verify(m.BatchRoot, leaf, m.LeafIndex, m.LeafCount, m.Proof)
+	rec.mu.Lock()
+	rec.tr.Add(rec.now(), "batch-apply", fmt.Sprintf("sw=%s update=%s phase=%d leaf=%d/%d valid=%v proof=%v",
+		sw, m.UpdateID, m.Phase, m.LeafIndex, m.LeafCount, valid, proofOK))
+	rec.batchApplies = append(rec.batchApplies, liveBatchApply{
+		sw: sw, id: m.UpdateID, phase: m.Phase, valid: valid, proofOK: proofOK,
+	})
+	rec.mu.Unlock()
 }
 
 func (rec *liveRecorder) onApply(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool) {
@@ -330,6 +358,12 @@ func (in *liveInjector) byzMutate(msg fabric.Message) (fabric.Message, string) {
 	switch m := msg.(type) {
 	case protocol.MsgUpdate:
 		out, kind := byzMutateUpdate(in.rng, in.nctls, m)
+		if kind == "" {
+			return nil, ""
+		}
+		return out, kind
+	case protocol.MsgBatchUpdate:
+		out, kind := byzMutateBatch(in.rng, m)
 		if kind == "" {
 			return nil, ""
 		}
@@ -434,6 +468,8 @@ func liveCoreConfig(p Profile, g *topology.Graph, fab fabric.Fabric, seed int64)
 		Seed:                 seed,
 		Fabric:               fab,
 		CryptoReal:           fab != nil,
+		BatchSize:            p.BatchSize,
+		BatchDelay:           p.BatchDelay,
 	}
 	if fab == nil {
 		cfg.Jitter = 0.1
@@ -544,6 +580,7 @@ func RunLiveSeed(p Profile, opt LiveOptions) (res LiveResult) {
 	cfg := liveCoreConfig(p, g, fab, opt.Seed)
 	cfg.ViewChangeTimeout = opt.ViewChangeTimeout
 	cfg.SwitchApplyHook = lr.rec.onApply
+	cfg.SwitchBatchHook = lr.rec.onBatchApply
 	net, err := core.Build(cfg)
 	if err != nil {
 		res.Err = err.Error()
@@ -829,14 +866,19 @@ func (lr *liveRun) scheduleLiveByzantine() {
 		return
 	}
 	quorum := lr.net.Domains[0].Controllers[0].Quorum()
+	kinds := 3
+	if lr.p.BatchSize > 1 {
+		kinds = 4 // add fabricated batch-share quorums under a forged root
+	}
 	const injections = 6
 	for i := 0; i < injections; i++ {
 		at := 10*time.Millisecond + time.Duration(lr.rng.Int63n(int64(lr.opt.FlowWindow)))
 		sw := lr.switches[lr.rng.Intn(len(lr.switches))]
 		dst := lr.hosts[lr.rng.Intn(len(lr.hosts))]
-		kind := lr.rng.Intn(3)
+		kind := lr.rng.Intn(kinds)
 		seq := uint64(i + 1)
 		sig := garbageBytes(lr.rng, 33)
+		root := garbageBytes(lr.rng, merkle.HashSize)
 		shareSigs := make([][]byte, quorum)
 		for j := range shareSigs {
 			shareSigs[j] = garbageBytes(lr.rng, 33)
@@ -872,11 +914,32 @@ func (lr *liveRun) scheduleLiveByzantine() {
 				lr.fab.Send(lr.byz, fabric.NodeID(sw), msg, 512)
 				lr.rec.count("byz-forge-agg", 1)
 				lr.rec.trace("byz-forge-agg", fmt.Sprintf("->%s %s dst=%s", sw, id, dst))
-			default:
+			case 2:
 				msg := openflow.PacketOut{Switch: sw, Src: probeSrc, Dst: dst}
 				lr.fab.Send(lr.byz, fabric.NodeID(sw), msg, 256)
 				lr.rec.count("byz-packet-out", 1)
 				lr.rec.trace("byz-packet-out", fmt.Sprintf("->%s dst=%s", sw, dst))
+			default:
+				// A fabricated batch-share quorum under a forged root (only
+				// drawn when the batched hot path is on): the inclusion
+				// proof must reject every copy; with the canary planted
+				// they apply and the forged-batch-proof check must fire.
+				for j := 0; j < quorum; j++ {
+					msg := protocol.MsgBatchUpdate{
+						UpdateID:   id,
+						Mods:       mods,
+						Phase:      1,
+						From:       "byz",
+						BatchRoot:  root,
+						LeafIndex:  0,
+						LeafCount:  1,
+						ShareIndex: uint32(j + 1),
+						Share:      shareSigs[j],
+					}
+					lr.fab.Send(lr.byz, fabric.NodeID(sw), msg, 512)
+				}
+				lr.rec.count("byz-forge-batch", 1)
+				lr.rec.trace("byz-forge-batch", fmt.Sprintf("->%s %s dst=%s", sw, id, dst))
 			}
 		}})
 	}
@@ -1110,6 +1173,21 @@ func (lr *liveRun) converge(refDigest string, res *LiveResult) {
 		}
 		lr.report(InvNoForgedRule, fmt.Sprintf("%s|%s", ap.sw, ap.id),
 			fmt.Sprintf("switch %s applied update %s (phase %d) that no honest controller committed", ap.sw, ap.id, ap.phase),
+			ap.id.String())
+	}
+
+	// Batch-proof: every batch-amortized update applied as valid must have
+	// carried a verifying Merkle inclusion proof (re-checked at record
+	// time, independent of the switch's — possibly bypassed — verdict).
+	lr.rec.mu.Lock()
+	batchApplies := append([]liveBatchApply(nil), lr.rec.batchApplies...)
+	lr.rec.mu.Unlock()
+	for _, ap := range batchApplies {
+		if !ap.valid || ap.proofOK {
+			continue
+		}
+		lr.report(InvBatchProof, fmt.Sprintf("%s|%s", ap.sw, ap.id),
+			fmt.Sprintf("switch %s applied batched update %s (phase %d) whose inclusion proof does not verify", ap.sw, ap.id, ap.phase),
 			ap.id.String())
 	}
 

@@ -99,6 +99,54 @@ func TestLiveChaosCanaryInProc(t *testing.T) {
 	t.Logf("canary caught: %d no-forged-rule violations", forged)
 }
 
+// TestLiveChaosBatchedMixedInProc is the acceptance campaign with the
+// batched hot path on: every fault family at once against batched BFT
+// ordering and batch-amortized signing on the in-process backend, with
+// real crypto, converging with zero invariant violations (including the
+// forged-batch-proof re-check over every batched apply).
+func TestLiveChaosBatchedMixedInProc(t *testing.T) {
+	p := liveTestProfile(MixedProfile(), 6)
+	p.BatchSize = 8
+	res := RunLiveSeed(p, liveTestOptions("inproc", 7))
+	requireClean(t, res)
+	batched := false
+	for _, e := range res.Trace.Events() {
+		if e.Kind == "batch-apply" {
+			batched = true
+			break
+		}
+	}
+	if !batched {
+		t.Error("no batch-amortized update was ever applied; the batched path never engaged")
+	}
+}
+
+// TestLiveChaosBatchedCanaryInProc plants the verification-bypass canary
+// under the batched path on the live backend: the Byzantine controller's
+// forged batch roots and spliced contents then apply, and the recorder's
+// independent Merkle re-check must surface them.
+func TestLiveChaosBatchedCanaryInProc(t *testing.T) {
+	p := liveTestProfile(ByzantineProfile(), 4)
+	p.BatchSize = 8
+	p.CanarySkipVerify = true
+	caught := 0
+	for seed := int64(5); seed < 8 && caught == 0; seed++ {
+		res := RunLiveSeed(p, liveTestOptions("inproc", seed))
+		if res.Err != "" {
+			t.Fatalf("live run error: %s", res.Err)
+		}
+		for _, v := range res.Violations {
+			if v.Invariant == InvBatchProof || v.Invariant == InvNoForgedRule {
+				caught++
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatal("canary not caught: expected forged-batch-proof or no-forged-rule violations")
+	}
+	t.Logf("canary caught: %d violations", caught)
+}
+
 // TestLiveChaosTCPCrashRestart runs crash/restart windows over real TCP
 // sockets: crashes sever connections mid-workload, restarts re-listen and
 // redial, and delivery must resume until every flow completes.

@@ -129,6 +129,15 @@ type Config struct {
 	// FailureDetector, when non-nil, runs heartbeats.
 	FailureDetector *FailureDetectorConfig
 
+	// BatchSize > 1 enables batched atomic-broadcast ordering and (with
+	// ProtoCicero + AggSwitch) batch-amortized signing: one threshold
+	// signature per batch Merkle root, inclusion proofs per update. <= 1
+	// keeps the original per-update path bit-identically.
+	BatchSize int
+	// BatchDelay bounds how long a partial batch waits before it is
+	// ordered anyway (zero: the bft default).
+	BatchDelay time.Duration
+
 	// CrashRecovery marks a controller that replaces a crashed instance.
 	// It is born recovering: its amnesiac broadcast replica stays mute —
 	// neither voting nor proposing — until peer state transfer rebuilds
@@ -176,6 +185,10 @@ type Controller struct {
 	// aggSent stores the combined aggregate per update while this
 	// controller is the aggregator, for recovery retransmission.
 	aggSent map[string]protocol.MsgAggUpdate
+	// batchOf maps an update id to its batch-amortized signing context
+	// (Merkle proof + per-batch root share); retained after dispatch so
+	// recovery retransmissions reuse the same proof and share.
+	batchOf map[string]*batchRef
 	// recovery tracks an in-flight crash recovery; recovered stays true
 	// afterwards so retransmitted updates carry the Resend flag (switches
 	// re-acknowledge those instead of silently dropping duplicates).
@@ -212,6 +225,7 @@ type Controller struct {
 	AcksReceived    uint64
 	Reshares        uint64
 	Recoveries      uint64
+	BatchesSigned   uint64
 }
 
 // dispatchRecord is one signed update in the dispatch log.
@@ -249,6 +263,7 @@ func New(cfg Config) (*Controller, error) {
 		configShares:    make(map[uint64]map[uint32][]byte),
 		updateMod:       make(map[string][]openflow.FlowMod),
 		aggSent:         make(map[string]protocol.MsgAggUpdate),
+		batchOf:         make(map[string]*batchRef),
 		lastSeen:        make(map[pki.Identity]fabric.Time),
 		suspected:       make(map[pki.Identity]bool),
 	}
@@ -353,7 +368,7 @@ func (c *Controller) rebuildReplica() error {
 		mode = bft.ModeCrash
 	}
 	epoch := c.phase
-	replica, err := bft.NewReplica(bft.Config{
+	bftCfg := bft.Config{
 		ID:       bft.ReplicaID(slot + 1),
 		Replicas: ids,
 		Mode:     mode,
@@ -379,7 +394,13 @@ func (c *Controller) rebuildReplica() error {
 		},
 		Deliver:           func(seq uint64, payload []byte) { c.onDeliver(payload) },
 		ViewChangeTimeout: c.cfg.ViewChangeTimeout,
-	})
+		BatchSize:         c.cfg.BatchSize,
+		BatchDelay:        c.cfg.BatchDelay,
+	}
+	if c.cfg.BatchSize > 1 {
+		bftCfg.DeliverBatch = func(seq uint64, payloads [][]byte) { c.onDeliverBatch(payloads) }
+	}
+	replica, err := bft.NewReplica(bftCfg)
 	if err != nil {
 		return fmt.Errorf("controlplane: %q: %w", c.cfg.ID, err)
 	}
@@ -586,19 +607,37 @@ func (c *Controller) onDeliver(payload []byte) {
 // processEvent computes, schedules, signs and dispatches this domain's
 // updates for an event.
 func (c *Controller) processEvent(ev protocol.Event) {
+	plan, ok := c.planEvent(ev)
+	if !ok {
+		return
+	}
+	// Event replay is impossible here (deliveredEvents dedups upstream),
+	// and the engine tolerates acks that raced ahead of this plan — a
+	// switch can apply an update via the other controllers' quorum before
+	// this controller delivers the event. A failure therefore indicates a
+	// malformed plan from the scheduler; dropping it is the only safe move.
+	if err := c.engine.Add(plan); err != nil {
+		return
+	}
+}
+
+// planEvent computes and schedules this domain's updates for an event,
+// returning the plan without releasing it into the engine (the batched
+// delivery path signs a whole batch of plans before any of them runs).
+func (c *Controller) planEvent(ev protocol.Event) (scheduler.Plan, bool) {
 	switch ev.Kind {
 	case protocol.EventMembershipInfo:
 		c.applyMembershipInfo(ev)
-		return
+		return nil, false
 	case protocol.EventFlowRequest, protocol.EventFlowTeardown,
 		protocol.EventPolicyChange, protocol.EventLinkDown:
 	default:
-		return
+		return nil, false
 	}
 	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.RouteCompute)
 	mods, err := c.cfg.App.PlanFlow(ev)
 	if err != nil || len(mods) == 0 {
-		return
+		return nil, false
 	}
 	// Keep only this domain's switches, preserving path order.
 	local := mods[:0:0]
@@ -608,7 +647,7 @@ func (c *Controller) processEvent(ev protocol.Event) {
 		}
 	}
 	if len(local) == 0 {
-		return
+		return nil, false
 	}
 	updates := make([]scheduler.Update, len(local))
 	origin := fmt.Sprintf("%s/d%d", ev.ID, c.cfg.Domain)
@@ -618,15 +657,7 @@ func (c *Controller) processEvent(ev protocol.Event) {
 			Mod: mod,
 		}
 	}
-	plan := c.cfg.Sched.Schedule(updates)
-	// Event replay is impossible here (deliveredEvents dedups upstream),
-	// and the engine tolerates acks that raced ahead of this plan — a
-	// switch can apply an update via the other controllers' quorum before
-	// this controller delivers the event. A failure therefore indicates a
-	// malformed plan from the scheduler; dropping it is the only safe move.
-	if err := c.engine.Add(plan); err != nil {
-		return
-	}
+	return c.cfg.Sched.Schedule(updates), true
 }
 
 // dispatchUpdate signs and sends one ready update (the engine's release
@@ -640,7 +671,7 @@ func (c *Controller) dispatchUpdate(su scheduler.ScheduledUpdate) {
 	// After a recovery, every dispatch is a potential retransmission of an
 	// update the switch decided before the crash; Resend makes the switch
 	// re-acknowledge so the rebuilt engine can release dependents.
-	c.sendUpdate(su.ID, c.phase, mods, c.recovered)
+	c.sendUpdateAuto(su.ID, c.phase, mods, c.recovered)
 }
 
 // sendUpdate share-signs one update and routes it to its switch (or to

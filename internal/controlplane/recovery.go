@@ -277,6 +277,11 @@ func (c *Controller) handleResyncRequest(m protocol.MsgResyncRequest) {
 		if len(rec.mods) == 0 || rec.mods[0].Switch != m.Switch {
 			continue
 		}
+		// Always the legacy per-update path: resync shares must combine
+		// with whatever the other controllers send after their own crashes
+		// or ref expiry, and only per-update shares are universally
+		// poolable. Batching is a fast-path optimization, not a recovery
+		// dependency.
 		c.sendUpdate(rec.id, rec.phase, rec.mods, true)
 	}
 }
@@ -303,6 +308,9 @@ func (c *Controller) RedispatchUnacked() int {
 		if !ok {
 			continue
 		}
+		// Legacy path on purpose (see handleResyncRequest): a retransmission
+		// quorum must assemble across controllers that may no longer share a
+		// batch ref for this update.
 		c.sendUpdate(rec.id, rec.phase, rec.mods, true)
 		sent++
 	}

@@ -90,6 +90,17 @@ type Config struct {
 	// SwitchApplyHook, when set, is installed on every switch and observes
 	// each update apply decision (used by the chaos invariant checkers).
 	SwitchApplyHook func(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool)
+	// SwitchBatchHook, when set, additionally observes batch-amortized
+	// update decisions with root and inclusion proof (the chaos engine's
+	// Merkle-proof invariant attaches here).
+	SwitchBatchHook func(sw string, m protocol.MsgBatchUpdate, valid bool)
+
+	// BatchSize > 1 batches the atomic broadcast and amortizes one
+	// threshold signature over each batch's Merkle root (ProtoCicero with
+	// switch aggregation). <= 1 keeps the per-update path bit-identically.
+	BatchSize int
+	// BatchDelay bounds how long a partial batch waits before ordering.
+	BatchDelay time.Duration
 }
 
 // Defaulted returns the config with defaults applied.

@@ -181,6 +181,8 @@ func Build(cfg Config) (*Network, error) {
 				Bootstrap:         i == 0,
 				ViewChangeTimeout: cfg.ViewChangeTimeout,
 				FailureDetector:   cfg.FailureDetector,
+				BatchSize:         cfg.BatchSize,
+				BatchDelay:        cfg.BatchDelay,
 			}
 			if cfg.NumDomains > 1 {
 				ctlCfg.DomainOf = domainOfSwitchFn
@@ -214,15 +216,16 @@ func Build(cfg Config) (*Network, error) {
 				}
 			}
 			swCfg := dataplane.Config{
-				ID:          swID,
-				Net:         n.Fab,
-				Cost:        cfg.Cost,
-				Mode:        mode,
-				Keys:        keys,
-				Directory:   n.Directory,
-				Controllers: d.Members,
-				CryptoReal:  cfg.CryptoReal,
-				ApplyHook:   cfg.SwitchApplyHook,
+				ID:             swID,
+				Net:            n.Fab,
+				Cost:           cfg.Cost,
+				Mode:           mode,
+				Keys:           keys,
+				Directory:      n.Directory,
+				Controllers:    d.Members,
+				CryptoReal:     cfg.CryptoReal,
+				ApplyHook:      cfg.SwitchApplyHook,
+				BatchApplyHook: cfg.SwitchBatchHook,
 			}
 			if cfg.Protocol == controlplane.ProtoCicero {
 				swCfg.Scheme = n.Scheme

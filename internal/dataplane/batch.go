@@ -1,0 +1,179 @@
+// Batch-amortized update verification (the switch half of the
+// carrier-scale hot path, see internal/controlplane/batch.go).
+//
+// A MsgBatchUpdate carries one update plus a Merkle inclusion proof
+// against a batch root and a per-batch signature share over the root.
+// The switch verifies the proof with pure hashing (cheap, always on),
+// collects a quorum of root shares ONCE per batch, and pays the pairing
+// check a single time; every other update of the batch rides the cached
+// verdict. The root signature amortizes the CRYPTO, not the RELEASE
+// DECISION: an update still applies only after quorum-many distinct
+// controllers have each sent it (each honest controller dispatches an
+// update only when its scheduler released it, dependencies acked), so a
+// single Byzantine controller cannot install a quorum-signed batch
+// member ahead of its dependency order. Legacy per-update MsgUpdate
+// traffic is still accepted concurrently — recovery replays and
+// cross-phase retransmissions use it.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cicero/internal/fabric"
+	"cicero/internal/openflow"
+	"cicero/internal/protocol"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/merkle"
+)
+
+// batchWaiter buffers one proof-checked update until both gates open:
+// the batch root is quorum-verified AND quorum-many distinct controllers
+// have sent this very update (release attestation, mirroring the legacy
+// per-update share quorum).
+type batchWaiter struct {
+	msg     protocol.MsgBatchUpdate
+	senders map[uint32]bool
+}
+
+// pendingBatch tracks one batch root's share quorum and the updates that
+// wait on it.
+type pendingBatch struct {
+	phase    uint64
+	shares   map[uint32][]byte
+	verified bool
+	// waiting is keyed by updateKey so retransmissions accumulate senders
+	// instead of duplicating entries.
+	waiting map[string]*batchWaiter
+}
+
+// batchKey identifies one batch root's quorum pool.
+func batchKey(root []byte, phase uint64) string {
+	return fmt.Sprintf("%x|%d", root, phase)
+}
+
+// handleBatchUpdate processes one batch-amortized update: inclusion-proof
+// check, then root-share quorum with a single pairing per batch, then a
+// per-update sender quorum before the apply decision.
+func (s *Switch) handleBatchUpdate(m protocol.MsgBatchUpdate) {
+	key := updateKey(m.UpdateID, m.Phase)
+	if verdict, decided := s.applied[key]; decided {
+		if m.Resend {
+			s.sendAck(m.UpdateID, verdict)
+		}
+		return
+	}
+	if s.cfg.Mode == ModeUnsigned {
+		s.apply(m.UpdateID, m.Phase, m.Mods, true)
+		return
+	}
+	// Inclusion proof first: it binds this update's exact content and
+	// position to the root. It is pure hashing, so it runs even when
+	// CryptoReal is off — forged content must never reach the quorum pool.
+	// verifyBypass (the chaos canary) disables it like every other check.
+	if !s.verifyBypass {
+		leaf := openflow.CanonicalUpdateBytes(m.UpdateID, m.Phase, m.Mods)
+		if !merkle.Verify(m.BatchRoot, leaf, m.LeafIndex, m.LeafCount, m.Proof) {
+			// A failed inclusion proof is attacker-controlled input, not a
+			// protocol verdict on the update: drop it without deciding so an
+			// honest retransmission of the same update can still complete.
+			s.UpdatesRejected++
+			if s.cfg.BatchApplyHook != nil {
+				s.cfg.BatchApplyHook(s.cfg.ID, m, false)
+			}
+			return
+		}
+	}
+	if m.ShareIndex == 0 {
+		return // malformed share
+	}
+	bk := batchKey(m.BatchRoot, m.Phase)
+	pb, ok := s.pendingBatches[bk]
+	if !ok {
+		pb = &pendingBatch{
+			phase:   m.Phase,
+			shares:  make(map[uint32][]byte),
+			waiting: make(map[string]*batchWaiter),
+		}
+		s.pendingBatches[bk] = pb
+	}
+	w, ok := pb.waiting[key]
+	if !ok {
+		w = &batchWaiter{senders: make(map[uint32]bool)}
+		pb.waiting[key] = w
+	}
+	w.msg = m
+	w.senders[m.ShareIndex] = true
+	if _, seen := pb.shares[m.ShareIndex]; !seen {
+		pb.shares[m.ShareIndex] = m.Share
+	}
+	if pb.verified {
+		// Root already quorum-verified: this update rides the cached batch
+		// signature — zero additional pairings — but still waits for its
+		// own quorum of distinct senders.
+		if len(w.senders) >= s.cfg.Quorum {
+			delete(pb.waiting, key)
+			s.batchDecide(w.msg, true)
+		}
+		return
+	}
+	if len(pb.shares) < s.cfg.Quorum {
+		return
+	}
+	// Root-share quorum reached: one aggregate-and-verify for the whole
+	// batch. A failure (Byzantine shares in the mix) keeps the batch
+	// pending so later honest shares can still complete it.
+	s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID),
+		time.Duration(s.cfg.Quorum)*s.cfg.Cost.BLSAggregatePerShare+s.cfg.Cost.BLSVerifyAggregate)
+	if s.cfg.CryptoReal && !s.verifyBypass && !s.verifyBatchRoot(pb, m.BatchRoot) {
+		s.UpdatesRejected++
+		return
+	}
+	pb.verified = true
+	// Release every waiting update that already has its sender quorum, in
+	// deterministic order (map iteration is randomized; acks must not be).
+	// Sub-quorum waiters stay buffered until more senders arrive.
+	keys := make([]string, 0, len(pb.waiting))
+	for k := range pb.waiting {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		wk := pb.waiting[k]
+		if len(wk.senders) < s.cfg.Quorum {
+			continue
+		}
+		delete(pb.waiting, k)
+		if _, decided := s.applied[k]; decided {
+			continue // a legacy quorum may have raced ahead
+		}
+		s.batchDecide(wk.msg, true)
+	}
+}
+
+// verifyBatchRoot combines the collected root shares and verifies the
+// aggregate against the group public key — the batch's one pairing.
+func (s *Switch) verifyBatchRoot(pb *pendingBatch, root []byte) bool {
+	canonical := protocol.BatchBytes(pb.phase, root)
+	shares := make([]bls.SignatureShare, 0, len(pb.shares))
+	for idx, raw := range pb.shares {
+		pt, err := s.cfg.Scheme.Params.ParsePoint(raw)
+		if err != nil {
+			continue
+		}
+		shares = append(shares, bls.SignatureShare{Index: idx, Point: pt})
+	}
+	_, err := s.cfg.Scheme.CombineVerifiedCached(s.verifyCache, s.cfg.GroupKey, canonical, shares)
+	return err == nil
+}
+
+// batchDecide applies or rejects a batch update and notifies the batch
+// observation hook (the chaos engine's Merkle-proof invariant attaches
+// there, alongside the regular ApplyHook fired by apply).
+func (s *Switch) batchDecide(m protocol.MsgBatchUpdate, valid bool) {
+	if s.cfg.BatchApplyHook != nil {
+		s.cfg.BatchApplyHook(s.cfg.ID, m, valid)
+	}
+	s.apply(m.UpdateID, m.Phase, m.Mods, valid)
+}

@@ -70,6 +70,12 @@ type Config struct {
 	// the simulator loop after the flow table has been updated.
 	ApplyHook func(sw string, id openflow.MsgID, phase uint64, mods []openflow.FlowMod, valid bool)
 
+	// BatchApplyHook, when set, additionally observes batch-amortized
+	// update decisions with the full MsgBatchUpdate (root, inclusion
+	// proof), letting chaos invariants re-check the Merkle proof
+	// independently. ApplyHook still fires for the same decision.
+	BatchApplyHook func(sw string, m protocol.MsgBatchUpdate, valid bool)
+
 	// BootEpoch namespaces this instance's event sequence numbers (the
 	// high 32 bits). Controllers dedup events by id, so a switch that
 	// restarts with a reset counter would collide with its pre-crash ids
@@ -106,6 +112,9 @@ type Switch struct {
 	// pendingEvents dedups outstanding table-miss events per match.
 	pendingEvents map[matchKey]openflow.MsgID
 	pending       map[string]*pendingUpdate // keyed by updateID|phase
+	// pendingBatches collects root-share quorums for batch-amortized
+	// updates, keyed by batchRoot|phase (see batch.go).
+	pendingBatches map[string]*pendingBatch
 	// applied records the verdict of every decided update (true: applied,
 	// false: rejected) so recovery retransmissions can be re-acknowledged
 	// with the original outcome.
@@ -144,12 +153,13 @@ func New(cfg Config) (*Switch, error) {
 		}
 	}
 	s := &Switch{
-		cfg:           cfg,
-		table:         openflow.NewFlowTable(),
-		eventSeq:      uint64(cfg.BootEpoch) << 32,
-		pendingEvents: make(map[matchKey]openflow.MsgID),
-		pending:       make(map[string]*pendingUpdate),
-		applied:       make(map[string]bool),
+		cfg:            cfg,
+		table:          openflow.NewFlowTable(),
+		eventSeq:       uint64(cfg.BootEpoch) << 32,
+		pendingEvents:  make(map[matchKey]openflow.MsgID),
+		pending:        make(map[string]*pendingUpdate),
+		pendingBatches: make(map[string]*pendingBatch),
+		applied:        make(map[string]bool),
 	}
 	if cfg.Scheme != nil {
 		s.verifyCache = bls.NewVerifyCache(bls.DefaultVerifyCacheSize)
@@ -257,6 +267,9 @@ func (s *Switch) HandleMessage(from fabric.NodeID, msg fabric.Message) {
 	case protocol.MsgAggUpdate:
 		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
 		s.handleAggUpdate(m)
+	case protocol.MsgBatchUpdate:
+		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
+		s.handleBatchUpdate(m)
 	case protocol.MsgConfig:
 		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
 		s.handleConfig(m)

@@ -52,6 +52,12 @@ type LiveOptions struct {
 	Seed int64
 	// Timeout bounds each leg's completion wait (0: 60s).
 	Timeout time.Duration
+	// BatchSize > 1 enables batched ordering and batch-amortized signing
+	// (one threshold signature per batch Merkle root) on both the live
+	// legs and the simnet reference. <= 1 is the per-update baseline.
+	BatchSize int
+	// BatchDelay bounds how long a partial batch waits before ordering.
+	BatchDelay time.Duration
 }
 
 // Defaulted applies defaults.
@@ -103,6 +109,66 @@ type LiveWire struct {
 	Bytes     uint64 `json:"bytes"`
 }
 
+// LiveCrypto reports the cryptographic cost of one leg, normalized per
+// applied update. Pairings are the expensive operation batching amortizes
+// (full, prepared, and product-of-pairings evaluations all count as one);
+// signature bytes meter the shares and aggregates actually produced.
+type LiveCrypto struct {
+	Updates           uint64  `json:"updates"`
+	Pairings          uint64  `json:"pairings"`
+	PairingsPerUpdate float64 `json:"pairings_per_update"`
+	SignatureBytes    uint64  `json:"signature_bytes"`
+	SigBytesPerUpdate float64 `json:"sig_bytes_per_update"`
+}
+
+// cryptoMark snapshots the process-wide crypto counters so a leg's delta
+// can be attributed (legs run sequentially).
+type cryptoMark struct {
+	pairings uint64
+	sigBytes uint64
+}
+
+func markCrypto() cryptoMark {
+	s := metrics.Crypto.Snapshot()
+	return cryptoMark{
+		pairings: s["pairings"] + s["prepared_pairings"] + s["pairing_products"],
+		sigBytes: s["signature_bytes"],
+	}
+}
+
+// cryptoSince builds the per-update crypto report from a mark.
+func cryptoSince(mark cryptoMark, updates uint64) LiveCrypto {
+	cur := markCrypto()
+	out := LiveCrypto{
+		Updates:        updates,
+		Pairings:       cur.pairings - mark.pairings,
+		SignatureBytes: cur.sigBytes - mark.sigBytes,
+	}
+	if updates > 0 {
+		out.PairingsPerUpdate = float64(out.Pairings) / float64(updates)
+		out.SigBytesPerUpdate = float64(out.SignatureBytes) / float64(updates)
+	}
+	return out
+}
+
+// appliedUpdates sums switch apply counters (via the fabric's serial
+// context on live backends).
+func appliedUpdates(n *core.Network, live bool, timeout time.Duration) (uint64, error) {
+	var total uint64
+	for id, sw := range n.Switches {
+		sw := sw
+		read := func() { total += sw.UpdatesApplied }
+		if live {
+			if err := invokeWait(n.Fab, fabric.NodeID(id), read, timeout); err != nil {
+				return 0, err
+			}
+		} else {
+			read()
+		}
+	}
+	return total, nil
+}
+
 // LiveCrossCheck records the backend-vs-simnet identity checks.
 type LiveCrossCheck struct {
 	TableDigest        string `json:"table_digest"`
@@ -125,6 +191,8 @@ type LiveBackendReport struct {
 	MultiWire        LiveWire          `json:"multi_wire"`
 	SingleCheck      LiveCrossCheck    `json:"single_check"`
 	MultiCheck       LiveCrossCheck    `json:"multi_check"`
+	SingleCrypto     LiveCrypto        `json:"single_crypto"`
+	MultiCrypto      LiveCrypto        `json:"multi_crypto"`
 	SingleResilience map[string]uint64 `json:"single_resilience"`
 	MultiResilience  map[string]uint64 `json:"multi_resilience"`
 }
@@ -154,6 +222,7 @@ type LiveReport struct {
 	Seed        int64               `json:"seed"`
 	SingleFlows int                 `json:"single_flows"`
 	MultiFlows  int                 `json:"multi_flows"`
+	BatchSize   int                 `json:"batch_size"`
 	Backends    []LiveBackendReport `json:"backends"`
 }
 
@@ -220,14 +289,16 @@ func livePairs(g *topology.Graph, n int) ([][2]string, error) {
 // reference: Cicero with switch aggregation and per-pair rules. The live
 // legs run real crypto on the given fabric; the reference runs simulated
 // crypto on the simulator (the canonical digests are crypto-independent).
-func liveConfig(g *topology.Graph, fab fabric.Fabric, seed int64) core.Config {
+func liveConfig(g *topology.Graph, fab fabric.Fabric, opt LiveOptions) core.Config {
 	return core.Config{
 		Graph:      g,
 		PairRules:  true,
 		Cost:       calibrated,
-		Seed:       seed,
+		Seed:       opt.Seed,
 		Fabric:     fab,
 		CryptoReal: fab != nil,
+		BatchSize:  opt.BatchSize,
+		BatchDelay: opt.BatchDelay,
 		// Live runs share wall-clock cores with the whole harness (and
 		// the race detector in CI); a sub-second view-change timeout
 		// would misread scheduling hiccups as a failed primary.
@@ -332,8 +403,8 @@ func controllerDigests(n *core.Network, live bool, timeout time.Duration) (chain
 
 // runReference executes the flow sequence on the simulator and captures
 // the canonical digests the live legs must reproduce.
-func runReference(g *topology.Graph, pairs [][2]string, seed int64, timeout time.Duration) (*reference, error) {
-	n, err := core.Build(liveConfig(g, nil, seed))
+func runReference(g *topology.Graph, pairs [][2]string, opt LiveOptions) (*reference, error) {
+	n, err := core.Build(liveConfig(g, nil, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -352,10 +423,10 @@ func runReference(g *topology.Graph, pairs [][2]string, seed int64, timeout time
 		return nil, err
 	}
 	ref := &reference{}
-	if ref.tableDigest, err = networkTableDigest(n, false, timeout); err != nil {
+	if ref.tableDigest, err = networkTableDigest(n, false, opt.Timeout); err != nil {
 		return nil, err
 	}
-	if ref.chain, ref.content, err = controllerDigests(n, false, timeout); err != nil {
+	if ref.chain, ref.content, err = controllerDigests(n, false, opt.Timeout); err != nil {
 		return nil, err
 	}
 	return ref, nil
@@ -511,21 +582,31 @@ func crossCheck(n *core.Network, ref *reference, checkChain bool, timeout time.D
 	return out, nil
 }
 
+// legResult bundles one live leg's measurements.
+type legResult struct {
+	lat        LiveLatency
+	wire       LiveWire
+	check      LiveCrossCheck
+	crypto     LiveCrypto
+	resilience map[string]uint64
+}
+
 // runLiveLeg builds a fresh deployment on the backend, drives the pairs
 // (sequentially or concurrently), quiesces, and cross-checks.
-func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *reference, concurrent bool) (LiveLatency, LiveWire, LiveCrossCheck, map[string]uint64, error) {
-	var lat LiveLatency
-	var wire LiveWire
-	var check LiveCrossCheck
+func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *reference, concurrent bool) (legResult, error) {
+	var res legResult
 	fab, closeFab, err := newLiveFabric(opt.Backend)
 	if err != nil {
-		return lat, wire, check, nil, err
+		return res, err
 	}
 	defer closeFab()
-	n, err := core.Build(liveConfig(g, fab, opt.Seed))
+	n, err := core.Build(liveConfig(g, fab, opt))
 	if err != nil {
-		return lat, wire, check, nil, err
+		return res, err
 	}
+	// Mark after Build: DKG and key provisioning must not count against
+	// the steady-state per-update cost.
+	mark := markCrypto()
 	samples := &metrics.Samples{}
 	wallStart := time.Now()
 	if concurrent {
@@ -536,7 +617,7 @@ func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *refe
 		for i, p := range pairs {
 			starts[i] = time.Now()
 			if dones[i], err = driveFlow(n, p); err != nil {
-				return lat, wire, check, nil, err
+				return res, err
 			}
 		}
 		for i, done := range dones {
@@ -544,7 +625,7 @@ func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *refe
 			case <-done:
 				samples.Add(float64(time.Since(starts[i])) / float64(time.Millisecond))
 			case <-time.After(opt.Timeout):
-				return lat, wire, check, nil, fmt.Errorf("live: %s flow %v timed out", opt.Backend, pairs[i])
+				return res, fmt.Errorf("live: %s flow %v timed out", opt.Backend, pairs[i])
 			}
 		}
 	} else {
@@ -552,29 +633,37 @@ func runLiveLeg(opt LiveOptions, g *topology.Graph, pairs [][2]string, ref *refe
 			start := time.Now()
 			done, err := driveFlow(n, p)
 			if err != nil {
-				return lat, wire, check, nil, err
+				return res, err
 			}
 			select {
 			case <-done:
 				samples.Add(float64(time.Since(start)) / float64(time.Millisecond))
 			case <-time.After(opt.Timeout):
-				return lat, wire, check, nil, fmt.Errorf("live: %s flow %v timed out", opt.Backend, p)
+				return res, fmt.Errorf("live: %s flow %v timed out", opt.Backend, p)
 			}
 			// The sequential leg quiesces between flows so the audit
 			// chains record the simulator's canonical order.
 			if err := awaitQuiescence(n, opt.Timeout); err != nil {
-				return lat, wire, check, nil, err
+				return res, err
 			}
 		}
 	}
 	wall := time.Since(wallStart)
 	if err := awaitQuiescence(n, opt.Timeout); err != nil {
-		return lat, wire, check, nil, err
+		return res, err
 	}
-	if check, err = crossCheck(n, ref, !concurrent, opt.Timeout); err != nil {
-		return lat, wire, check, nil, err
+	if res.check, err = crossCheck(n, ref, !concurrent, opt.Timeout); err != nil {
+		return res, err
 	}
-	return summarize(samples, wall), wireOf(fab.Stats()), check, resilienceCounters(fab), nil
+	updates, err := appliedUpdates(n, true, opt.Timeout)
+	if err != nil {
+		return res, err
+	}
+	res.crypto = cryptoSince(mark, updates)
+	res.lat = summarize(samples, wall)
+	res.wire = wireOf(fab.Stats())
+	res.resilience = resilienceCounters(fab)
+	return res, nil
 }
 
 // RunLive executes the full live benchmark for one backend: the simnet
@@ -597,24 +686,28 @@ func RunLive(opt LiveOptions) (*LiveBackendReport, error) {
 	singlePairs := pairs[:opt.SingleFlows]
 	multiPairs := pairs[:opt.MultiFlows]
 
-	singleRef, err := runReference(g, singlePairs, opt.Seed, opt.Timeout)
+	singleRef, err := runReference(g, singlePairs, opt)
 	if err != nil {
 		return nil, fmt.Errorf("live: simnet reference (single): %w", err)
 	}
-	multiRef, err := runReference(g, multiPairs, opt.Seed, opt.Timeout)
+	multiRef, err := runReference(g, multiPairs, opt)
 	if err != nil {
 		return nil, fmt.Errorf("live: simnet reference (multi): %w", err)
 	}
 
 	report := &LiveBackendReport{Backend: opt.Backend}
-	if report.SingleFlow, report.SingleWire, report.SingleCheck, report.SingleResilience, err =
-		runLiveLeg(opt, g, singlePairs, singleRef, false); err != nil {
+	single, err := runLiveLeg(opt, g, singlePairs, singleRef, false)
+	if err != nil {
 		return nil, err
 	}
-	if report.MultiFlow, report.MultiWire, report.MultiCheck, report.MultiResilience, err =
-		runLiveLeg(opt, g, multiPairs, multiRef, true); err != nil {
+	report.SingleFlow, report.SingleWire, report.SingleCheck = single.lat, single.wire, single.check
+	report.SingleCrypto, report.SingleResilience = single.crypto, single.resilience
+	multi, err := runLiveLeg(opt, g, multiPairs, multiRef, true)
+	if err != nil {
 		return nil, err
 	}
+	report.MultiFlow, report.MultiWire, report.MultiCheck = multi.lat, multi.wire, multi.check
+	report.MultiCrypto, report.MultiResilience = multi.crypto, multi.resilience
 	return report, nil
 }
 
@@ -627,6 +720,7 @@ func RunLiveAll(opt LiveOptions, backends []string) (*LiveReport, error) {
 		Seed:        opt.Seed,
 		SingleFlows: opt.SingleFlows,
 		MultiFlows:  opt.MultiFlows,
+		BatchSize:   opt.BatchSize,
 	}
 	for _, backend := range backends {
 		o := opt

@@ -1,0 +1,347 @@
+package experiments
+
+// The carrier-scale throughput sweep (BENCH_scale.json): the concurrent
+// update workload executed at increasing batch sizes on the simulator and
+// the live backends. Each leg reports updates/sec, latency percentiles,
+// pairing operations per update, and signature/wire bytes per update; every
+// leg's flow tables and audit-ledger content must be identical to the
+// batch=1 simnet reference — batching is a performance layer and must never
+// change what the network converges to.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"cicero/internal/core"
+	"cicero/internal/fabric"
+	"cicero/internal/metrics"
+	"cicero/internal/topology"
+	"cicero/internal/workload"
+)
+
+// ScaleOptions tunes the batch-size sweep.
+type ScaleOptions struct {
+	// Backends to sweep; defaults to simnet only under Quick, all three
+	// ("simnet", "inproc", "tcp") otherwise.
+	Backends []string
+	// BatchSizes to sweep (always includes the batch=1 baseline).
+	BatchSizes []int
+	// Flows is the concurrent update count per leg (0 defaults by Quick).
+	Flows int
+	// Quick shrinks topology and flow counts for CI-speed runs.
+	Quick bool
+	// Seed drives pair selection and the reference run.
+	Seed int64
+	// Timeout bounds each live leg's completion wait (0: 120s).
+	Timeout time.Duration
+	// BatchDelay bounds how long a partial batch waits (0: bft default).
+	BatchDelay time.Duration
+}
+
+// Defaulted applies defaults.
+func (o ScaleOptions) Defaulted() ScaleOptions {
+	if len(o.Backends) == 0 {
+		if o.Quick {
+			o.Backends = []string{"simnet", "inproc"}
+		} else {
+			o.Backends = []string{"simnet", "inproc", "tcp"}
+		}
+	}
+	if len(o.BatchSizes) == 0 {
+		if o.Quick {
+			o.BatchSizes = []int{1, 8, 32}
+		} else {
+			o.BatchSizes = []int{1, 8, 16, 32, 64}
+		}
+	}
+	if o.Flows == 0 {
+		if o.Quick {
+			o.Flows = 24
+		} else {
+			o.Flows = 96
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 2021
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 120 * time.Second
+	}
+	return o
+}
+
+// ScaleLeg is one (backend, batch size) measurement.
+type ScaleLeg struct {
+	Backend       string  `json:"backend"`
+	BatchSize     int     `json:"batch_size"`
+	Updates       uint64  `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	WallMs        float64 `json:"wall_ms"`
+	// BatchesSigned counts batch signing ceremonies across controllers
+	// (zero on the batch=1 baseline).
+	BatchesSigned uint64 `json:"batches_signed"`
+	// PairingsPerUpdate is the amortization headline: pairing operations
+	// (full + prepared + products) per applied update.
+	PairingsPerUpdate float64 `json:"pairings_per_update"`
+	SigBytesPerUpdate float64 `json:"sig_bytes_per_update"`
+	// WireBytesPerUpdate is bytes on the fabric per applied update (the
+	// simulator's model estimate, or real encoded bytes on live legs).
+	WireBytesPerUpdate float64 `json:"wire_bytes_per_update"`
+	// TableMatch/ContentMatch gate the sweep: every leg must converge to
+	// the batch=1 simnet reference's tables and ledger content.
+	TableMatch   bool `json:"table_match"`
+	ContentMatch bool `json:"content_match"`
+}
+
+// ScaleReport is the BENCH_scale.json document.
+type ScaleReport struct {
+	Quick      bool       `json:"quick"`
+	Seed       int64      `json:"seed"`
+	Flows      int        `json:"flows"`
+	BatchSizes []int      `json:"batch_sizes"`
+	Legs       []ScaleLeg `json:"legs"`
+}
+
+// JSON renders the report.
+func (r *ScaleReport) JSON() []byte {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	return append(b, '\n')
+}
+
+// Passed reports whether every leg reproduced the reference exactly.
+func (r *ScaleReport) Passed() bool {
+	for _, leg := range r.Legs {
+		if !leg.TableMatch || !leg.ContentMatch {
+			return false
+		}
+	}
+	return true
+}
+
+// Speedup returns the best batched-to-unbatched throughput ratio on the
+// named backend (0 when either leg is missing).
+func (r *ScaleReport) Speedup(backend string) float64 {
+	var base, best float64
+	for _, leg := range r.Legs {
+		if leg.Backend != backend {
+			continue
+		}
+		if leg.BatchSize <= 1 {
+			base = leg.UpdatesPerSec
+		} else if leg.UpdatesPerSec > best {
+			best = leg.UpdatesPerSec
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return best / base
+}
+
+// scaleCheck compares a finished leg's tables and ledger content against
+// the batch=1 simnet reference. ChainDigest is deliberately out of scope:
+// update-record order depends on ack timing, which batching legitimately
+// reorders; content and tables must not move.
+func scaleCheck(n *core.Network, ref *reference, live bool, timeout time.Duration) (tableMatch, contentMatch bool, err error) {
+	tbl, err := networkTableDigest(n, live, timeout)
+	if err != nil {
+		return false, false, err
+	}
+	_, content, err := controllerDigests(n, live, timeout)
+	if err != nil {
+		return false, false, err
+	}
+	contentMatch = true
+	for id, d := range content {
+		if d != ref.content[id] {
+			contentMatch = false
+		}
+	}
+	return tbl == ref.tableDigest, contentMatch, nil
+}
+
+// sumBatchesSigned totals controller batch-signing ceremonies.
+func sumBatchesSigned(n *core.Network, live bool, timeout time.Duration) (uint64, error) {
+	var total uint64
+	for _, d := range n.Domains {
+		for _, ctl := range d.Controllers {
+			ctl := ctl
+			read := func() { total += ctl.BatchesSigned }
+			if live {
+				if err := invokeWait(n.Fab, fabric.NodeID(ctl.ID()), read, timeout); err != nil {
+					return 0, err
+				}
+			} else {
+				read()
+			}
+		}
+	}
+	return total, nil
+}
+
+// runScaleSimLeg executes one batch size on the simulator: the concurrent
+// flow set with tight interarrival (so batch windows actually fill),
+// latencies and throughput in simulated time.
+func runScaleSimLeg(opt ScaleOptions, g *topology.Graph, pairs [][2]string, ref *reference, batch int) (ScaleLeg, error) {
+	leg := ScaleLeg{Backend: "simnet", BatchSize: batch}
+	cfg := liveConfig(g, nil, LiveOptions{Seed: opt.Seed, BatchSize: batch, BatchDelay: opt.BatchDelay})
+	n, err := core.Build(cfg)
+	if err != nil {
+		return leg, err
+	}
+	flows := make([]workload.Flow, len(pairs))
+	for i, p := range pairs {
+		flows[i] = workload.Flow{
+			ID:  uint64(i + 1),
+			Src: p[0], Dst: p[1],
+			SizeKB: 64,
+			// Tight spacing: the whole set lands inside a few batch
+			// windows, the regime batching exists for.
+			Start: time.Duration(i) * 200 * time.Microsecond,
+		}
+	}
+	mark := markCrypto()
+	results, err := n.RunFlows(flows, core.RunOptions{})
+	if err != nil {
+		return leg, err
+	}
+	samples := &metrics.Samples{}
+	var wall time.Duration
+	for _, r := range results {
+		samples.Add(float64(r.SetupDelay) / float64(time.Millisecond))
+		if end := r.Flow.Start + r.Completion; end > wall {
+			wall = end
+		}
+	}
+	updates, err := appliedUpdates(n, false, opt.Timeout)
+	if err != nil {
+		return leg, err
+	}
+	crypto := cryptoSince(mark, updates)
+	leg.Updates = updates
+	leg.P50Ms = samples.Percentile(0.50)
+	leg.P95Ms = samples.Percentile(0.95)
+	leg.P99Ms = samples.Percentile(0.99)
+	leg.WallMs = float64(wall) / float64(time.Millisecond)
+	if wall > 0 {
+		leg.UpdatesPerSec = float64(updates) / wall.Seconds()
+	}
+	leg.PairingsPerUpdate = crypto.PairingsPerUpdate
+	leg.SigBytesPerUpdate = crypto.SigBytesPerUpdate
+	if updates > 0 {
+		leg.WireBytesPerUpdate = float64(n.Fab.Stats().Bytes) / float64(updates)
+	}
+	if leg.BatchesSigned, err = sumBatchesSigned(n, false, opt.Timeout); err != nil {
+		return leg, err
+	}
+	leg.TableMatch, leg.ContentMatch, err = scaleCheck(n, ref, false, opt.Timeout)
+	return leg, err
+}
+
+// runScaleLiveLeg executes one batch size on a live backend: all flows
+// injected concurrently, wall-clock throughput.
+func runScaleLiveLeg(opt ScaleOptions, backend string, g *topology.Graph, pairs [][2]string, ref *reference, batch int) (ScaleLeg, error) {
+	leg := ScaleLeg{Backend: backend, BatchSize: batch}
+	fab, closeFab, err := newLiveFabric(backend)
+	if err != nil {
+		return leg, err
+	}
+	defer closeFab()
+	lopt := LiveOptions{Seed: opt.Seed, BatchSize: batch, BatchDelay: opt.BatchDelay}
+	n, err := core.Build(liveConfig(g, fab, lopt))
+	if err != nil {
+		return leg, err
+	}
+	mark := markCrypto()
+	wireMark := fab.Stats().Bytes
+	samples := &metrics.Samples{}
+	wallStart := time.Now()
+	starts := make([]time.Time, len(pairs))
+	dones := make([]<-chan struct{}, len(pairs))
+	for i, p := range pairs {
+		starts[i] = time.Now()
+		if dones[i], err = driveFlow(n, p); err != nil {
+			return leg, err
+		}
+	}
+	for i, done := range dones {
+		select {
+		case <-done:
+			samples.Add(float64(time.Since(starts[i])) / float64(time.Millisecond))
+		case <-time.After(opt.Timeout):
+			return leg, fmt.Errorf("scale: %s batch=%d flow %v timed out", backend, batch, pairs[i])
+		}
+	}
+	wall := time.Since(wallStart)
+	if err := awaitQuiescence(n, opt.Timeout); err != nil {
+		return leg, err
+	}
+	updates, err := appliedUpdates(n, true, opt.Timeout)
+	if err != nil {
+		return leg, err
+	}
+	crypto := cryptoSince(mark, updates)
+	leg.Updates = updates
+	leg.P50Ms = samples.Percentile(0.50)
+	leg.P95Ms = samples.Percentile(0.95)
+	leg.P99Ms = samples.Percentile(0.99)
+	leg.WallMs = float64(wall) / float64(time.Millisecond)
+	if wall > 0 {
+		leg.UpdatesPerSec = float64(updates) / wall.Seconds()
+	}
+	leg.PairingsPerUpdate = crypto.PairingsPerUpdate
+	leg.SigBytesPerUpdate = crypto.SigBytesPerUpdate
+	if updates > 0 {
+		leg.WireBytesPerUpdate = float64(fab.Stats().Bytes-wireMark) / float64(updates)
+	}
+	if leg.BatchesSigned, err = sumBatchesSigned(n, true, opt.Timeout); err != nil {
+		return leg, err
+	}
+	leg.TableMatch, leg.ContentMatch, err = scaleCheck(n, ref, true, opt.Timeout)
+	return leg, err
+}
+
+// RunScale executes the full batch-size sweep and assembles the
+// BENCH_scale.json report.
+func RunScale(opt ScaleOptions) (*ScaleReport, error) {
+	opt = opt.Defaulted()
+	g, err := liveTopology(LiveOptions{Quick: opt.Quick})
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := livePairs(g, opt.Flows)
+	if err != nil {
+		return nil, err
+	}
+	// The reference everything is measured against: batch=1 on simnet.
+	ref, err := runReference(g, pairs, LiveOptions{Seed: opt.Seed, Timeout: opt.Timeout})
+	if err != nil {
+		return nil, fmt.Errorf("scale: simnet reference: %w", err)
+	}
+	report := &ScaleReport{
+		Quick:      opt.Quick,
+		Seed:       opt.Seed,
+		Flows:      opt.Flows,
+		BatchSizes: opt.BatchSizes,
+	}
+	for _, backend := range opt.Backends {
+		for _, batch := range opt.BatchSizes {
+			var leg ScaleLeg
+			var err error
+			if backend == "simnet" {
+				leg, err = runScaleSimLeg(opt, g, pairs, ref, batch)
+			} else {
+				leg, err = runScaleLiveLeg(opt, backend, g, pairs, ref, batch)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("scale: backend %s batch=%d: %w", backend, batch, err)
+			}
+			report.Legs = append(report.Legs, leg)
+		}
+	}
+	return report, nil
+}

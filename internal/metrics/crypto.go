@@ -38,6 +38,10 @@ type CryptoCounters struct {
 	// per quorum index-set.
 	LagrangeCacheHits   atomic.Uint64
 	LagrangeCacheMisses atomic.Uint64
+	// SignatureBytes accumulates the serialized size of every signature
+	// and signature share produced, so benchmarks can report signature
+	// bytes per update (batching amortizes one signature across a batch).
+	SignatureBytes atomic.Uint64
 }
 
 // Crypto is the process-wide crypto counter set.
@@ -56,6 +60,7 @@ func (c *CryptoCounters) Snapshot() map[string]uint64 {
 		"verify_cache_misses":   c.VerifyCacheMisses.Load(),
 		"lagrange_cache_hits":   c.LagrangeCacheHits.Load(),
 		"lagrange_cache_misses": c.LagrangeCacheMisses.Load(),
+		"signature_bytes":       c.SignatureBytes.Load(),
 	}
 }
 
@@ -71,4 +76,5 @@ func (c *CryptoCounters) Reset() {
 	c.VerifyCacheMisses.Store(0)
 	c.LagrangeCacheHits.Store(0)
 	c.LagrangeCacheMisses.Store(0)
+	c.SignatureBytes.Store(0)
 }

@@ -123,6 +123,44 @@ type MsgAggUpdate struct {
 	Resend bool
 }
 
+// MsgBatchUpdate is one controller's batch-amortized signed update: the
+// update itself plus a Merkle inclusion proof tying it to a batch root.
+// The signature share covers BatchBytes(Phase, BatchRoot) — one share
+// computation per batch, reused across every update in it — and the switch
+// combines a quorum of root shares once per batch, then admits each member
+// update with pure hashing (proof verification against the verified root).
+type MsgBatchUpdate struct {
+	UpdateID openflow.MsgID
+	Mods     []openflow.FlowMod
+	Phase    uint64
+	// From identifies the signing controller.
+	From pki.Identity
+	// BatchRoot is the Merkle root over the canonical bytes
+	// (CanonicalUpdateBytes) of every update in the batch, in batch order.
+	// LeafIndex and LeafCount locate this update's leaf in that tree and
+	// Proof is its audit path (sibling hashes, leaf to root).
+	BatchRoot []byte
+	LeafIndex int
+	LeafCount int
+	Proof     [][]byte
+	// ShareIndex is the controller's threshold-share index; Share is its
+	// BLS signature share over BatchBytes(Phase, BatchRoot).
+	ShareIndex uint32
+	Share      []byte
+	// Resend marks a recovery retransmission (see MsgUpdate.Resend).
+	Resend bool
+}
+
+// BatchBytes is the canonical byte string threshold-signed for a batch of
+// updates: the membership phase and the Merkle root over the batch's
+// canonical update bytes. Signing the root (rather than each update)
+// preserves the no-forged-rule guarantee because the root binds every
+// leaf's exact content and position, and switches only act on updates with
+// a valid inclusion proof against a quorum-verified root.
+func BatchBytes(phase uint64, root []byte) []byte {
+	return []byte(fmt.Sprintf("batch|phase=%d|root=%x", phase, root))
+}
+
 // Ack is a switch's acknowledgement that an update was applied.
 type Ack struct {
 	UpdateID openflow.MsgID `json:"update_id"`

@@ -72,6 +72,7 @@ func NewWireCodec(params *pairing.Params) *WireCodec {
 	registerJSON[MsgAck](c, "ack")
 	registerJSON[MsgUpdate](c, "update")
 	registerJSON[MsgAggUpdate](c, "agg-update")
+	registerJSON[MsgBatchUpdate](c, "batch-update")
 	registerJSON[MsgConfigShare](c, "config-share")
 	registerJSON[MsgHeartbeat](c, "heartbeat")
 	registerJSON[MsgRecoverRequest](c, "recover-request")

@@ -14,6 +14,7 @@ import (
 	"cicero/internal/openflow"
 	"cicero/internal/tcrypto/bls"
 	"cicero/internal/tcrypto/dkg"
+	"cicero/internal/tcrypto/merkle"
 	"cicero/internal/tcrypto/pairing"
 	"cicero/internal/tcrypto/pki"
 )
@@ -44,11 +45,21 @@ func wireSamples(t testing.TB) []fabric.Message {
 	}
 	members := []pki.Identity{"dom0/ctl/1", "dom0/ctl/2", "dom0/ctl/3", "dom0/ctl/4"}
 	digest := bft.PayloadDigest([]byte("payload"))
+	batchTree := merkle.NewTree([][]byte{
+		openflow.CanonicalUpdateBytes(id, 3, mods[:1]),
+		openflow.CanonicalUpdateBytes(openflow.MsgID{Origin: "h2", Seq: 1}, 3, mods[1:]),
+	})
+	batchRoot := batchTree.Root()
 	return []fabric.Message{
 		MsgEvent{Env: pki.Envelope{From: "s1", Payload: []byte(`{"id":1}`), Signature: []byte{1, 2, 3}}},
 		MsgAck{Env: pki.Envelope{From: "s1", Payload: []byte(`{"applied":true}`), Signature: []byte{4, 5}}},
 		MsgUpdate{UpdateID: id, Mods: mods, Phase: 3, From: members[1], ShareIndex: 2, Share: []byte{6, 7, 8}},
 		MsgAggUpdate{UpdateID: id, Mods: mods, Phase: 3, Signature: []byte{9, 10}},
+		MsgBatchUpdate{
+			UpdateID: id, Mods: mods, Phase: 3, From: members[1],
+			BatchRoot: batchRoot[:], LeafIndex: 0, LeafCount: 2,
+			Proof: batchTree.Proof(0), ShareIndex: 2, Share: []byte{6, 7, 8},
+		},
 		MsgConfig{Phase: 4, Quorum: 2, Members: members, Aggregator: members[0], GroupKey: gk, Signature: []byte{11}},
 		MsgConfigShare{Phase: 4, Quorum: 2, Members: members, Aggregator: members[0], ShareIndex: 3, Share: []byte{12}},
 		MsgStateTransfer{

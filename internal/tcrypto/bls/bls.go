@@ -217,6 +217,7 @@ func (s *Scheme) SignShare(share KeyShare, msg []byte) SignatureShare {
 
 // SignShareDigest signs a pre-hashed message point with a key share.
 func (s *Scheme) SignShareDigest(share KeyShare, hm *pairing.Point) SignatureShare {
+	metrics.Crypto.SignatureBytes.Add(uint64(s.Params.PointSize()))
 	return SignatureShare{Index: share.Index, Point: s.Params.ScalarMul(hm, share.Scalar)}
 }
 

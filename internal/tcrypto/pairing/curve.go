@@ -48,6 +48,10 @@ func (pt *Point) String() string {
 // coordWidth is the byte width of one field element.
 func (p *Params) coordWidth() int { return (p.P.BitLen() + 7) / 8 }
 
+// PointSize returns the fixed byte length of a non-infinity point encoding
+// (benchmarks use it to meter signature bytes without serializing).
+func (p *Params) PointSize() int { return 1 + 2*p.coordWidth() }
+
 // PointBytes returns a canonical encoding of pt: a one-byte tag (0 for
 // infinity, 4 for affine) followed by fixed-width X and Y coordinates.
 func (p *Params) PointBytes(pt *Point) []byte {
