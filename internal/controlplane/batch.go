@@ -176,11 +176,19 @@ func (c *Controller) sendUpdateAuto(id openflow.MsgID, phase uint64, mods []open
 }
 
 // sendBatchUpdate sends one update with its batch root, inclusion proof,
-// and the (per-batch) root signature share. No signing happens here: the
-// share was computed once in signUpdateBatch.
+// the (per-batch) root signature share, and a per-update Ed25519 release
+// attestation. The BLS share was computed once in signUpdateBatch; only
+// the cheap release signature is per-dispatch — it is what lets the
+// switch count this controller toward the update's release quorum by
+// authenticated identity rather than by a self-declared share index.
 func (c *Controller) sendBatchUpdate(id openflow.MsgID, mods []openflow.FlowMod, ref *batchRef, resend bool) {
 	if len(mods) == 0 {
 		return
+	}
+	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Sign)
+	var releaseSig []byte
+	if c.cfg.CryptoReal {
+		releaseSig = c.cfg.Keys.Sign(protocol.BatchReleaseBytes(id, ref.phase, ref.root))
 	}
 	msg := protocol.MsgBatchUpdate{
 		UpdateID:   id,
@@ -193,8 +201,9 @@ func (c *Controller) sendBatchUpdate(id openflow.MsgID, mods []openflow.FlowMod,
 		Proof:      ref.proof,
 		ShareIndex: c.cfg.Share.Index,
 		Share:      ref.share,
+		ReleaseSig: releaseSig,
 		Resend:     resend,
 	}
-	size := 256*len(mods) + merkle.HashSize*(len(ref.proof)+2)
+	size := 256*len(mods) + merkle.HashSize*(len(ref.proof)+2) + 64
 	c.cfg.Net.Send(fabric.NodeID(c.cfg.ID), fabric.NodeID(mods[0].Switch), msg, size)
 }

@@ -788,6 +788,10 @@ func (c *Controller) handleAckMsg(m protocol.MsgAck) {
 		return
 	}
 	c.AcksReceived++
+	// The batch signing context exists only for the initial dispatch;
+	// every retransmission path resends through legacy per-update shares,
+	// so an acked update's ref is dead weight on a long-running controller.
+	delete(c.batchOf, ack.UpdateID.String())
 	c.engine.Ack(ack.UpdateID)
 }
 

@@ -2,18 +2,22 @@
 // carrier-scale hot path, see internal/controlplane/batch.go).
 //
 // A MsgBatchUpdate carries one update plus a Merkle inclusion proof
-// against a batch root and a per-batch signature share over the root.
-// The switch verifies the proof with pure hashing (cheap, always on),
-// collects a quorum of root shares ONCE per batch, and pays the pairing
-// check a single time; every other update of the batch rides the cached
-// verdict. The root signature amortizes the CRYPTO, not the RELEASE
-// DECISION: an update still applies only after quorum-many distinct
-// controllers have each sent it (each honest controller dispatches an
-// update only when its scheduler released it, dependencies acked), so a
-// single Byzantine controller cannot install a quorum-signed batch
-// member ahead of its dependency order. Legacy per-update MsgUpdate
-// traffic is still accepted concurrently — recovery replays and
-// cross-phase retransmissions use it.
+// against a batch root, a per-batch signature share over the root, and a
+// per-update Ed25519 release attestation. The switch verifies the proof
+// with pure hashing (cheap, always on), collects a quorum of root shares
+// ONCE per batch, and pays the pairing check a single time; every other
+// update of the batch rides the cached verdict. The root signature
+// amortizes the CRYPTO, not the RELEASE DECISION: an update still applies
+// only after quorum-many distinct AUTHENTICATED controllers have each
+// attested its release (each honest controller dispatches an update only
+// when its scheduler released it, dependencies acked). The attestation is
+// the controller's Ed25519 signature over the (update, phase, root)
+// triple, verified against the PKI directory — a self-declared share
+// index would let a single Byzantine controller, holding the delivered
+// batch and thus every member's valid proof, fabricate the whole quorum
+// and install a later batch member ahead of its dependency order. Legacy
+// per-update MsgUpdate traffic is still accepted concurrently — recovery
+// replays and cross-phase retransmissions use it.
 package dataplane
 
 import (
@@ -26,15 +30,25 @@ import (
 	"cicero/internal/protocol"
 	"cicero/internal/tcrypto/bls"
 	"cicero/internal/tcrypto/merkle"
+	"cicero/internal/tcrypto/pki"
 )
+
+// maxPendingBatches bounds the root-quorum pool map. Merkle proof
+// verification is keyless hashing, so any sender can mint valid
+// (root, phase) pairs over self-built trees; without a cap each one would
+// allocate a pendingBatch that lives for the switch's lifetime. When the
+// cap is hit, the oldest UNVERIFIED entry is evicted first (an attacker
+// cannot mint verified entries — those took a quorum of root shares — so
+// junk only ever displaces junk before it displaces real state).
+const maxPendingBatches = 512
 
 // batchWaiter buffers one proof-checked update until both gates open:
 // the batch root is quorum-verified AND quorum-many distinct controllers
-// have sent this very update (release attestation, mirroring the legacy
+// have attested this very update's release (mirroring the legacy
 // per-update share quorum).
 type batchWaiter struct {
 	msg     protocol.MsgBatchUpdate
-	senders map[uint32]bool
+	senders map[pki.Identity]bool
 }
 
 // pendingBatch tracks one batch root's share quorum and the updates that
@@ -43,6 +57,9 @@ type pendingBatch struct {
 	phase    uint64
 	shares   map[uint32][]byte
 	verified bool
+	// seq is the arrival order used for eviction when the pool map is
+	// full (oldest unverified first).
+	seq uint64
 	// waiting is keyed by updateKey so retransmissions accumulate senders
 	// instead of duplicating entries.
 	waiting map[string]*batchWaiter
@@ -54,8 +71,9 @@ func batchKey(root []byte, phase uint64) string {
 }
 
 // handleBatchUpdate processes one batch-amortized update: inclusion-proof
-// check, then root-share quorum with a single pairing per batch, then a
-// per-update sender quorum before the apply decision.
+// check, release-attestation authentication, then root-share quorum with
+// a single pairing per batch and a per-update sender quorum before the
+// apply decision.
 func (s *Switch) handleBatchUpdate(m protocol.MsgBatchUpdate) {
 	key := updateKey(m.UpdateID, m.Phase)
 	if verdict, decided := s.applied[key]; decided {
@@ -64,8 +82,14 @@ func (s *Switch) handleBatchUpdate(m protocol.MsgBatchUpdate) {
 		}
 		return
 	}
-	if s.cfg.Mode == ModeUnsigned {
+	switch s.cfg.Mode {
+	case ModeUnsigned:
 		s.apply(m.UpdateID, m.Phase, m.Mods, true)
+		return
+	case ModeAggregated:
+		// Per-share batch traffic is not accepted in aggregated mode; the
+		// aggregator must combine shares first (same gate as handleUpdate).
+		s.UpdatesRejected++
 		return
 	}
 	// Inclusion proof first: it binds this update's exact content and
@@ -88,36 +112,69 @@ func (s *Switch) handleBatchUpdate(m protocol.MsgBatchUpdate) {
 	if m.ShareIndex == 0 {
 		return // malformed share
 	}
+	// Release-attestation authentication: the sender quorum below counts
+	// identities, so the identity must be one the switch can trust. The
+	// claimed controller must be a current member and, under real crypto,
+	// must have Ed25519-signed this exact (update, phase, root) release —
+	// holding the batch (and thus every member's valid proof) is NOT
+	// enough to vouch for a member's release. The bypass canary models a
+	// switch with broken verification: it trusts the self-declared share
+	// index as the sender, the pre-fix vulnerability the chaos invariants
+	// must catch.
+	sender := m.From
+	if s.verifyBypass {
+		sender = pki.Identity(fmt.Sprintf("bypass-%d", m.ShareIndex))
+	} else {
+		if !s.isController(m.From) {
+			s.UpdatesRejected++
+			return
+		}
+		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.Ed25519Verify)
+		if s.cfg.CryptoReal {
+			release := protocol.BatchReleaseBytes(m.UpdateID, m.Phase, m.BatchRoot)
+			if s.cfg.Directory.Verify(m.From, release, m.ReleaseSig) != nil {
+				// Like a failed proof: attacker-controlled input, dropped
+				// without deciding the update.
+				s.UpdatesRejected++
+				return
+			}
+		}
+	}
 	bk := batchKey(m.BatchRoot, m.Phase)
 	pb, ok := s.pendingBatches[bk]
 	if !ok {
+		s.evictPendingBatch()
+		s.batchSeq++
 		pb = &pendingBatch{
 			phase:   m.Phase,
 			shares:  make(map[uint32][]byte),
+			seq:     s.batchSeq,
 			waiting: make(map[string]*batchWaiter),
 		}
 		s.pendingBatches[bk] = pb
 	}
 	w, ok := pb.waiting[key]
 	if !ok {
-		w = &batchWaiter{senders: make(map[uint32]bool)}
+		w = &batchWaiter{senders: make(map[pki.Identity]bool)}
 		pb.waiting[key] = w
 	}
 	w.msg = m
-	w.senders[m.ShareIndex] = true
-	if _, seen := pb.shares[m.ShareIndex]; !seen {
-		pb.shares[m.ShareIndex] = m.Share
-	}
+	w.senders[sender] = true
 	if pb.verified {
 		// Root already quorum-verified: this update rides the cached batch
 		// signature — zero additional pairings — but still waits for its
-		// own quorum of distinct senders.
+		// own quorum of distinct release attestations.
 		if len(w.senders) >= s.cfg.Quorum {
 			delete(pb.waiting, key)
 			s.batchDecide(w.msg, true)
 		}
 		return
 	}
+	// Overwrite on retransmission (same as the legacy per-update pool): a
+	// garbage share claiming this index must not permanently shadow the
+	// index owner's real share, or a poisoned pool could stall the whole
+	// batch until honest retransmissions land.
+	pb.shares[m.ShareIndex] = m.Share
 	if len(pb.shares) < s.cfg.Quorum {
 		return
 	}
@@ -131,6 +188,7 @@ func (s *Switch) handleBatchUpdate(m protocol.MsgBatchUpdate) {
 		return
 	}
 	pb.verified = true
+	pb.shares = nil // quorum served its purpose; later members ride verified
 	// Release every waiting update that already has its sender quorum, in
 	// deterministic order (map iteration is randomized; acks must not be).
 	// Sub-quorum waiters stay buffered until more senders arrive.
@@ -149,6 +207,51 @@ func (s *Switch) handleBatchUpdate(m protocol.MsgBatchUpdate) {
 			continue // a legacy quorum may have raced ahead
 		}
 		s.batchDecide(wk.msg, true)
+	}
+}
+
+// isController reports whether id is a current control-plane member.
+func (s *Switch) isController(id pki.Identity) bool {
+	for _, ctl := range s.cfg.Controllers {
+		if ctl == id {
+			return true
+		}
+	}
+	return false
+}
+
+// evictPendingBatch makes room for one new pool entry when the map is at
+// capacity: the oldest unverified entry goes first (any sender can mint
+// those with self-built trees), then — only if every entry is verified —
+// the oldest verified one (its later members would merely re-collect a
+// quorum, a liveness cost, never a safety one).
+func (s *Switch) evictPendingBatch() {
+	if len(s.pendingBatches) < maxPendingBatches {
+		return
+	}
+	victim := ""
+	victimVerified := false
+	var victimSeq uint64
+	for k, pb := range s.pendingBatches {
+		better := victim == "" ||
+			(victimVerified && !pb.verified) ||
+			(victimVerified == pb.verified && pb.seq < victimSeq)
+		if better {
+			victim, victimVerified, victimSeq = k, pb.verified, pb.seq
+		}
+	}
+	delete(s.pendingBatches, victim)
+}
+
+// dropStaleBatches discards pool entries from membership phases before
+// the given one; controllers re-sign fresh batches in the new phase and
+// retransmit cross-phase updates through the legacy per-update path, so
+// stale entries can never complete.
+func (s *Switch) dropStaleBatches(phase uint64) {
+	for k, pb := range s.pendingBatches {
+		if pb.phase < phase {
+			delete(s.pendingBatches, k)
+		}
 	}
 }
 

@@ -113,8 +113,10 @@ type Switch struct {
 	pendingEvents map[matchKey]openflow.MsgID
 	pending       map[string]*pendingUpdate // keyed by updateID|phase
 	// pendingBatches collects root-share quorums for batch-amortized
-	// updates, keyed by batchRoot|phase (see batch.go).
+	// updates, keyed by batchRoot|phase (see batch.go). Bounded by
+	// maxPendingBatches; batchSeq orders entries for eviction.
 	pendingBatches map[string]*pendingBatch
+	batchSeq       uint64
 	// applied records the verdict of every decided update (true: applied,
 	// false: rejected) so recovery retransmissions can be re-acknowledged
 	// with the original outcome.
@@ -400,6 +402,10 @@ func (s *Switch) handleConfig(m protocol.MsgConfig) {
 	}
 	s.configPhase = m.Phase
 	s.cfg.Controllers = append([]pki.Identity(nil), m.Members...)
+	// Batch quorum pools from earlier phases can never complete now —
+	// controllers re-sign fresh roots in the new phase and retransmit
+	// cross-phase updates through the legacy per-update path.
+	s.dropStaleBatches(m.Phase)
 	if m.Quorum > 0 {
 		s.cfg.Quorum = m.Quorum
 	}

@@ -147,6 +147,14 @@ type MsgBatchUpdate struct {
 	// BLS signature share over BatchBytes(Phase, BatchRoot).
 	ShareIndex uint32
 	Share      []byte
+	// ReleaseSig is From's Ed25519 signature over
+	// BatchReleaseBytes(UpdateID, Phase, BatchRoot) — the per-update
+	// release attestation. The root share only vouches for the batch's
+	// content; ReleaseSig is what binds "controller From released this
+	// member now" to an identity the switch can authenticate, so a
+	// Byzantine controller cannot fabricate the quorum of distinct
+	// senders that gates an update's apply (it holds only its own key).
+	ReleaseSig []byte
 	// Resend marks a recovery retransmission (see MsgUpdate.Resend).
 	Resend bool
 }
@@ -159,6 +167,16 @@ type MsgBatchUpdate struct {
 // a valid inclusion proof against a quorum-verified root.
 func BatchBytes(phase uint64, root []byte) []byte {
 	return []byte(fmt.Sprintf("batch|phase=%d|root=%x", phase, root))
+}
+
+// BatchReleaseBytes is the canonical byte string a controller Ed25519-signs
+// when it releases one member of a batch (MsgBatchUpdate.ReleaseSig). It
+// binds the update's identity, the membership phase, and the batch root;
+// the update's content is already bound to the root by the inclusion
+// proof, so the triple suffices to make the release attestation
+// unforgeable and non-transplantable across batches.
+func BatchReleaseBytes(id openflow.MsgID, phase uint64, root []byte) []byte {
+	return []byte(fmt.Sprintf("batch-release|update=%s|phase=%d|root=%x", id, phase, root))
 }
 
 // Ack is a switch's acknowledgement that an update was applied.

@@ -59,6 +59,7 @@ func wireSamples(t testing.TB) []fabric.Message {
 			UpdateID: id, Mods: mods, Phase: 3, From: members[1],
 			BatchRoot: batchRoot[:], LeafIndex: 0, LeafCount: 2,
 			Proof: batchTree.Proof(0), ShareIndex: 2, Share: []byte{6, 7, 8},
+			ReleaseSig: []byte{13, 14, 15},
 		},
 		MsgConfig{Phase: 4, Quorum: 2, Members: members, Aggregator: members[0], GroupKey: gk, Signature: []byte{11}},
 		MsgConfigShare{Phase: 4, Quorum: 2, Members: members, Aggregator: members[0], ShareIndex: 3, Share: []byte{12}},
