@@ -3,10 +3,10 @@ package chaos
 import (
 	"crypto/sha256"
 	"fmt"
-	"sort"
 
 	"cicero/internal/audit"
 	"cicero/internal/controlplane"
+	"cicero/internal/netprop"
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
 	"cicero/internal/simnet"
@@ -35,12 +35,13 @@ const (
 	InvNoForgedRule = "no-forged-rule"
 	// InvBlackholeFreedom: following any installed output rule hop by hop
 	// never reaches a switch with no matching rule or an unknown node.
-	InvBlackholeFreedom = "blackhole-freedom"
+	// Checked by the shared property engine (internal/netprop).
+	InvBlackholeFreedom = netprop.BlackholeFreedom
 	// InvLoopFreedom: no forwarding walk revisits a switch.
-	InvLoopFreedom = "loop-freedom"
+	InvLoopFreedom = netprop.LoopFreedom
 	// InvPathConsistency: a forwarding walk for destination d that reaches
 	// a host reaches exactly d.
-	InvPathConsistency = "path-consistency"
+	InvPathConsistency = netprop.PathConsistency
 	// InvBFTAgreement: honest controllers of a domain deliver the same
 	// events in the same order (total-order safety of the atomic
 	// broadcast), observed through their hash-chained audit ledgers.
@@ -177,77 +178,22 @@ func (ck *checker) refreshLegit() {
 }
 
 // probeSrc is the concrete source used to walk wildcard-source rules.
-const probeSrc = "chaos-probe"
+const probeSrc = netprop.ProbeSrc
 
 // reportFn records one violation; implementations deduplicate.
 type reportFn func(invariant, dedupKey, detail, traceToken string)
 
 // walkTables walks every installed output rule to its destination over the
-// given flow tables: each hop must find a covering rule (blackhole
-// freedom), never revisit a switch (loop freedom), and terminate at
-// exactly the rule's destination (path consistency). The tables may be the
-// simulator's own (safe on the sim loop) or a quiesced snapshot taken from
-// a live fabric — the convergence checks share this one walker.
+// given flow tables. The walker itself lives in internal/netprop (shared
+// with the synthesis engine); this shim keeps chaos callers and their
+// campaign traces bit-identical.
 func walkTables(tables map[string]*openflow.FlowTable, hosts map[string]bool, report reportFn) {
-	ids := make([]string, 0, len(tables))
-	for id := range tables {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, swID := range ids {
-		for _, rule := range tables[swID].Rules() {
-			if rule.Action.Type != openflow.ActionOutput {
-				continue
-			}
-			dst := rule.Match.Dst
-			if dst == openflow.Wildcard {
-				continue
-			}
-			src := rule.Match.Src
-			if src == openflow.Wildcard {
-				src = probeSrc
-			}
-			walkTable(tables, hosts, swID, src, dst, report)
-		}
-	}
+	netprop.WalkTables(tables, hosts, netprop.ReportFunc(report))
 }
 
 // walkTable follows the forwarding chain for (src, dst) starting at sw.
 func walkTable(tables map[string]*openflow.FlowTable, hosts map[string]bool, sw, src, dst string, report reportFn) {
-	visited := map[string]bool{}
-	cur := sw
-	for {
-		if visited[cur] {
-			report(InvLoopFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
-				fmt.Sprintf("forwarding loop for dst %s revisits %s (entered at %s)", dst, cur, sw), dst)
-			return
-		}
-		visited[cur] = true
-		table := tables[cur]
-		if table == nil {
-			report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
-				fmt.Sprintf("rule chain for dst %s forwards to unknown node %s (entered at %s)", dst, cur, sw), dst)
-			return
-		}
-		rule, ok := table.Lookup(src, dst)
-		if !ok {
-			report(InvBlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
-				fmt.Sprintf("blackhole: %s has no rule for dst %s (chain entered at %s)", cur, dst, sw), dst)
-			return
-		}
-		if rule.Action.Type == openflow.ActionDrop {
-			return // an explicit drop is policy, not a blackhole
-		}
-		next := rule.Action.NextHop
-		if hosts[next] {
-			if next != dst {
-				report(InvPathConsistency, fmt.Sprintf("%s|%s|%s", sw, next, dst),
-					fmt.Sprintf("packet for %s delivered to %s (chain entered at %s)", dst, next, sw), dst)
-			}
-			return
-		}
-		cur = next
-	}
+	netprop.WalkTable(tables, hosts, sw, src, dst, netprop.ReportFunc(report))
 }
 
 // checkDataPlane runs the walk invariants over the live simulator tables.

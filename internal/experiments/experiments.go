@@ -88,6 +88,7 @@ func Registry() map[string]Runner {
 		"table2":    Table2,
 		"ablations": Ablations,
 		"chaos":     ChaosCampaign,
+		"synthesis": Synthesis,
 	}
 }
 

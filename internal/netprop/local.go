@@ -1,0 +1,417 @@
+package netprop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cicero/internal/openflow"
+)
+
+// This file implements certificate-based local verification (Foerster &
+// Schmid, "Local Verification for Global Guarantees"): instead of walking
+// every forwarding chain end to end, each (packet class, switch) pair is
+// labeled with a small certificate — distance to delivery, whether the
+// chain delivers, and waypoint-chain progress — such that a purely local
+// check of every node against only its own rule and its successor's
+// certificate implies the global walk properties:
+//
+//   - dist(x) = dist(next(x)) + 1 with dist(terminal) = 1 admits a
+//     solution only on loop-free chains (a cycle would need an infinite
+//     descent), so certifiability <=> loop freedom;
+//   - every non-terminal certificate requires the successor to hold a
+//     covering rule (or be the class destination), so certifiability
+//     <=> blackhole freedom;
+//   - delivery terminals certify only when the delivering host is the
+//     class destination, so certifiability <=> path consistency;
+//   - wpStart(x) = wpStart(next(x)) - [x == chain[wpStart(next(x))-1]]
+//     tracks, backward, the smallest chain index whose suffix is
+//     traversed from x; a delivering ingress certifies a waypoint policy
+//     only when wpStart(ingress) == 0.
+//
+// The synthesis engine certifies every intermediate state of a plan this
+// way before handing the plan to the scheduler.
+
+// class is one packet equivalence class probed by the checkers: a
+// concrete (src, dst) pair (src may be the synthetic ProbeSrc for
+// wildcard-source rules).
+type class struct {
+	src, dst string
+}
+
+// Certificate labels one (class, switch) with the local evidence that its
+// forwarding chain is correct.
+type Certificate struct {
+	// Drop marks an explicit drop rule (a policy terminal: the chain ends
+	// here by intent, no further obligations).
+	Drop bool
+	// Delivers reports whether the chain from here reaches the class
+	// destination (false after a downstream drop).
+	Delivers bool
+	// Dist is the number of hops to delivery (1 = this switch outputs to
+	// the destination host). 0 when Drop or !Delivers.
+	Dist int
+	// WpStart maps a policy index (into the Properties.Waypoints slice)
+	// to the smallest chain index i such that Waypoints[i:] is traversed,
+	// in order, by the chain from this switch. len(chain) means no
+	// waypoint is visited downstream; 0 at the ingress means the full
+	// chain is enforced. Only policies matching the class are present.
+	WpStart map[int]int
+}
+
+// Certificates is a complete labeling of the reachable (class, switch)
+// space for one table state, plus the roots the walk checkers would start
+// from (kept so LocalCheck covers exactly what Check covers).
+type Certificates struct {
+	classes []class
+	// roots[c] lists the switches whose own rules probe class c (the walk
+	// checkers' start points) — policy ingresses included.
+	roots map[class][]string
+	// certs[c][sw] is nil when the switch has a covering rule for c but
+	// the chain from it admits no certificate (a violation was reported).
+	// Switches with no covering rule for c are absent.
+	certs map[class]map[string]*Certificate
+}
+
+// Cert returns the certificate for (src, dst) at sw, or nil.
+func (cs *Certificates) Cert(src, dst, sw string) *Certificate {
+	m := cs.certs[class{src, dst}]
+	if m == nil {
+		return nil
+	}
+	return m[sw]
+}
+
+// certify is the working state of one Certify pass.
+type certify struct {
+	tables map[string]*openflow.FlowTable
+	hosts  map[string]bool
+	props  Properties
+	out    *Certificates
+	rep    *collector
+
+	// state: 0 unvisited, 1 on the DFS stack, 2 done.
+	state map[class]map[string]int
+}
+
+// classPolicies returns the indices of the policies whose probe matches
+// the class.
+func classPolicies(props Properties, c class) []int {
+	var out []int
+	for i, p := range props.Waypoints {
+		if len(p.Waypoints) == 0 {
+			continue
+		}
+		if p.probe() == c.src && p.Dst == c.dst {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Certify builds local certificates for every chain the walk checkers
+// would traverse and returns them with the violations found along the way
+// (chains that admit no certificate). An empty violation list means every
+// walk property and waypoint policy holds.
+func Certify(tables map[string]*openflow.FlowTable, hosts map[string]bool, props Properties) (*Certificates, []Violation) {
+	cz := &certify{
+		tables: tables,
+		hosts:  hosts,
+		props:  props,
+		out: &Certificates{
+			roots: make(map[class][]string),
+			certs: make(map[class]map[string]*Certificate),
+		},
+		rep:   &collector{seen: make(map[string]bool)},
+		state: make(map[class]map[string]int),
+	}
+
+	// Roots: every installed output rule probes its own class from its own
+	// switch (exactly WalkTables' coverage)...
+	ids := make([]string, 0, len(tables))
+	for id := range tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	addRoot := func(c class, sw string) {
+		if _, ok := cz.out.certs[c]; !ok {
+			cz.out.certs[c] = make(map[string]*Certificate)
+			cz.state[c] = make(map[string]int)
+			cz.out.classes = append(cz.out.classes, c)
+		}
+		cz.out.roots[c] = append(cz.out.roots[c], sw)
+	}
+	for _, swID := range ids {
+		for _, rule := range tables[swID].Rules() {
+			if rule.Action.Type != openflow.ActionOutput {
+				continue
+			}
+			if rule.Match.Dst == openflow.Wildcard {
+				continue
+			}
+			src := rule.Match.Src
+			if src == openflow.Wildcard {
+				src = ProbeSrc
+			}
+			addRoot(class{src, rule.Match.Dst}, swID)
+		}
+	}
+	// ... plus every waypoint policy probes its class from its ingress.
+	for _, p := range props.Waypoints {
+		if len(p.Waypoints) == 0 {
+			continue
+		}
+		addRoot(class{p.probe(), p.Dst}, p.Ingress)
+	}
+
+	for _, c := range cz.out.classes {
+		for _, root := range cz.out.roots[c] {
+			cz.visit(c, root, root)
+		}
+	}
+	cz.checkPolicies()
+	return cz.out, cz.rep.violations
+}
+
+// visit certifies (c, sw) by DFS over the chain, memoized. entered names
+// the root that first pulled this node in (for violation messages only).
+// It returns the certificate, or nil plus ok=false when the switch has no
+// covering rule for the class (the obligation then sits with the caller —
+// a root walk is vacuous there, a mid-chain hop is a blackhole).
+func (cz *certify) visit(c class, sw, entered string) (*Certificate, bool) {
+	table := cz.tables[sw]
+	if table == nil {
+		return nil, false
+	}
+	if _, ok := table.Lookup(c.src, c.dst); !ok {
+		return nil, false
+	}
+	switch cz.state[c][sw] {
+	case 2:
+		cert := cz.out.certs[c][sw]
+		return cert, true
+	case 1:
+		// Back edge: the chain re-enters a switch still on the DFS stack.
+		cz.rep.report(LoopFreedom, fmt.Sprintf("cert|%s|%s|%s", sw, c.src, c.dst),
+			fmt.Sprintf("no loop-free certificate for class %s->%s: chain revisits %s (entered at %s)", c.src, c.dst, sw, entered), c.dst)
+		return nil, true // covering rule exists, but no certificate
+	}
+	cz.state[c][sw] = 1
+	cert := cz.certOf(c, sw, entered)
+	cz.state[c][sw] = 2
+	cz.out.certs[c][sw] = cert
+	return cert, true
+}
+
+// certOf computes the local certificate of (c, sw) from its own rule and
+// its successor's certificate, reporting the violation when none exists.
+// The caller guarantees sw has a covering rule for c.
+func (cz *certify) certOf(c class, sw, entered string) *Certificate {
+	rule, _ := cz.tables[sw].Lookup(c.src, c.dst)
+	policies := classPolicies(cz.props, c)
+	if rule.Action.Type == openflow.ActionDrop {
+		return &Certificate{Drop: true, WpStart: wpBase(cz.props, policies)}
+	}
+	next := rule.Action.NextHop
+	if cz.hosts[next] {
+		if next != c.dst {
+			cz.rep.report(PathConsistency, fmt.Sprintf("cert|%s|%s|%s", sw, c.src, c.dst),
+				fmt.Sprintf("no certificate for class %s->%s: %s delivers to %s (entered at %s)", c.src, c.dst, sw, next, entered), c.dst)
+			return nil
+		}
+		cert := &Certificate{Delivers: true, Dist: 1, WpStart: wpBase(cz.props, policies)}
+		advanceWp(cz.props, policies, sw, cert)
+		return cert
+	}
+	if cz.tables[next] == nil {
+		cz.rep.report(BlackholeFreedom, fmt.Sprintf("cert|%s|%s|%s", sw, c.src, c.dst),
+			fmt.Sprintf("no certificate for class %s->%s: %s forwards to unknown node %s (entered at %s)", c.src, c.dst, sw, next, entered), c.dst)
+		return nil
+	}
+	sub, hasRule := cz.visit(c, next, entered)
+	if !hasRule {
+		cz.rep.report(BlackholeFreedom, fmt.Sprintf("cert|%s|%s|%s", sw, c.src, c.dst),
+			fmt.Sprintf("no certificate for class %s->%s: successor %s has no covering rule (entered at %s)", c.src, c.dst, next, entered), c.dst)
+		return nil
+	}
+	if sub == nil {
+		// The successor chain is broken; the violation was reported there.
+		return nil
+	}
+	cert := &Certificate{
+		Drop:     false,
+		Delivers: sub.Delivers,
+		WpStart:  make(map[int]int, len(sub.WpStart)),
+	}
+	if sub.Delivers {
+		cert.Dist = sub.Dist + 1
+	}
+	for i, s := range sub.WpStart {
+		cert.WpStart[i] = s
+	}
+	advanceWp(cz.props, policies, sw, cert)
+	return cert
+}
+
+// wpBase returns the terminal waypoint progress: nothing matched yet.
+func wpBase(props Properties, policies []int) map[int]int {
+	if len(policies) == 0 {
+		return nil
+	}
+	m := make(map[int]int, len(policies))
+	for _, i := range policies {
+		m[i] = len(props.Waypoints[i].Waypoints)
+	}
+	return m
+}
+
+// advanceWp folds this switch into the backward chain matching: if the
+// switch is the chain element just before the already-matched suffix, the
+// suffix grows by one.
+func advanceWp(props Properties, policies []int, sw string, cert *Certificate) {
+	for _, i := range policies {
+		chain := props.Waypoints[i].Waypoints
+		s := cert.WpStart[i]
+		if s > 0 && chain[s-1] == sw {
+			cert.WpStart[i] = s - 1
+		}
+	}
+}
+
+// checkPolicies evaluates every waypoint policy against its ingress
+// certificate: a delivering ingress whose certificate does not witness the
+// full chain is a violation.
+func (cz *certify) checkPolicies() {
+	for i, p := range cz.props.Waypoints {
+		if len(p.Waypoints) == 0 {
+			continue
+		}
+		c := class{p.probe(), p.Dst}
+		cert := cz.out.certs[c][p.Ingress]
+		if cert == nil || !cert.Delivers {
+			continue // vacuous: not programmed, dropped, or already broken
+		}
+		if s := cert.WpStart[i]; s > 0 {
+			cz.rep.report(WaypointEnforcement,
+				fmt.Sprintf("cert|%s|%s|%s|%d", p.Ingress, p.Src, p.Dst, i),
+				fmt.Sprintf("ingress certificate for %s->%s at %s does not witness waypoint %s (chain %s)",
+					p.Src, p.Dst, p.Ingress, p.Waypoints[s-1], strings.Join(p.Waypoints, ",")),
+				p.Dst)
+		}
+	}
+}
+
+// LocalCheck revalidates a certificate set node by node: every certified
+// (class, switch) is checked purely against its own rule and its
+// successor's certificate — no walks. It returns the violations (an
+// inconsistent or missing local equation). A clean Certify output always
+// passes; the check exists so an independently supplied (or tampered)
+// labeling can be audited in O(rules) time.
+func (cs *Certificates) LocalCheck(tables map[string]*openflow.FlowTable, hosts map[string]bool, props Properties) []Violation {
+	rep := &collector{seen: make(map[string]bool)}
+	for _, c := range cs.classes {
+		policies := classPolicies(props, c)
+		sws := make([]string, 0, len(cs.certs[c]))
+		for sw := range cs.certs[c] {
+			sws = append(sws, sw)
+		}
+		sort.Strings(sws)
+		for _, sw := range sws {
+			cert := cs.certs[c][sw]
+			if cert == nil {
+				rep.report(localProperty(c), fmt.Sprintf("local|%s|%s|%s", sw, c.src, c.dst),
+					fmt.Sprintf("class %s->%s has no certificate at %s", c.src, c.dst, sw), c.dst)
+				continue
+			}
+			want := localRecompute(tables, hosts, props, policies, c, sw, cs)
+			if want == nil || !certEqual(cert, want) {
+				rep.report(localProperty(c), fmt.Sprintf("local|%s|%s|%s", sw, c.src, c.dst),
+					fmt.Sprintf("certificate at %s for class %s->%s fails its local equation", sw, c.src, c.dst), c.dst)
+			}
+		}
+	}
+	// Policy condition at the ingresses.
+	for i, p := range props.Waypoints {
+		if len(p.Waypoints) == 0 {
+			continue
+		}
+		cert := cs.certs[class{p.probe(), p.Dst}][p.Ingress]
+		if cert == nil || !cert.Delivers {
+			continue
+		}
+		if s := cert.WpStart[i]; s > 0 {
+			rep.report(WaypointEnforcement, fmt.Sprintf("local|%s|%s|%s|%d", p.Ingress, p.Src, p.Dst, i),
+				fmt.Sprintf("ingress certificate for %s->%s at %s does not witness waypoint %s",
+					p.Src, p.Dst, p.Ingress, p.Waypoints[s-1]), p.Dst)
+		}
+	}
+	return rep.violations
+}
+
+// localProperty names the property a missing certificate breaks; without
+// replaying the chain the specific cause is unknown, so the generic
+// blackhole-freedom label is used (the Certify pass pinpoints it).
+func localProperty(class) string { return BlackholeFreedom }
+
+// localRecompute derives the certificate (c, sw) must carry from the
+// node-local view: its own rule plus the successor's stored certificate.
+func localRecompute(tables map[string]*openflow.FlowTable, hosts map[string]bool, props Properties, policies []int, c class, sw string, cs *Certificates) *Certificate {
+	table := tables[sw]
+	if table == nil {
+		return nil
+	}
+	rule, ok := table.Lookup(c.src, c.dst)
+	if !ok {
+		return nil
+	}
+	if rule.Action.Type == openflow.ActionDrop {
+		return &Certificate{Drop: true, WpStart: wpBase(props, policies)}
+	}
+	next := rule.Action.NextHop
+	if hosts[next] {
+		if next != c.dst {
+			return nil
+		}
+		cert := &Certificate{Delivers: true, Dist: 1, WpStart: wpBase(props, policies)}
+		advanceWp(props, policies, sw, cert)
+		return cert
+	}
+	sub := cs.certs[c][next]
+	if sub == nil {
+		return nil
+	}
+	cert := &Certificate{Delivers: sub.Delivers, WpStart: make(map[int]int, len(sub.WpStart))}
+	if sub.Delivers {
+		cert.Dist = sub.Dist + 1
+	}
+	for i, s := range sub.WpStart {
+		cert.WpStart[i] = s
+	}
+	advanceWp(props, policies, sw, cert)
+	return cert
+}
+
+// certEqual compares two certificates field by field.
+func certEqual(a, b *Certificate) bool {
+	if a.Drop != b.Drop || a.Delivers != b.Delivers || a.Dist != b.Dist || len(a.WpStart) != len(b.WpStart) {
+		return false
+	}
+	for i, s := range a.WpStart {
+		if b.WpStart[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// LocalVerify certifies the tables and, when certification succeeds,
+// audits the certificates with the node-local check. It returns the
+// violations from whichever stage failed; an empty result is a proof that
+// all walk properties and waypoint policies hold.
+func LocalVerify(tables map[string]*openflow.FlowTable, hosts map[string]bool, props Properties) []Violation {
+	certs, violations := Certify(tables, hosts, props)
+	if len(violations) > 0 {
+		return violations
+	}
+	return certs.LocalCheck(tables, hosts, props)
+}

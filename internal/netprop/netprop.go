@@ -1,0 +1,260 @@
+// Package netprop checks global data-plane properties — loop freedom,
+// blackhole freedom, path consistency, waypoint enforcement — over
+// arbitrary sets of flow tables. It is the property engine shared by the
+// chaos invariant plane (internal/chaos), which lifted its flow-table
+// walkers into this package, and the update-synthesis engine
+// (internal/synthesis), which uses the same checkers to validate every
+// intermediate state of a candidate update ordering.
+//
+// Two complementary check styles are provided:
+//
+//   - Walk checks (WalkTables, CheckWaypoints, Check): follow every
+//     installed forwarding chain hop by hop and report violations. These
+//     are the original chaos walkers; their violation strings and dedup
+//     keys are frozen so chaos campaign traces stay bit-identical.
+//   - Local verification (Certify, LocalCheck, LocalVerify): following
+//     Foerster & Schmid's local-verification line of work, each
+//     (switch, packet class) is assigned a small certificate — distance
+//     to delivery plus waypoint progress — such that a purely local check
+//     of every node against only its own rule and its successor's
+//     certificate implies the global properties. This is what certifies a
+//     synthesized update plan without re-walking the world per state.
+package netprop
+
+import (
+	"fmt"
+	"sort"
+
+	"cicero/internal/openflow"
+)
+
+// Property names. The walk-property values are frozen: they double as the
+// chaos invariant names recorded in campaign traces.
+const (
+	// BlackholeFreedom: following any installed output rule hop by hop
+	// never reaches a switch with no matching rule or an unknown node.
+	BlackholeFreedom = "blackhole-freedom"
+	// LoopFreedom: no forwarding walk revisits a switch.
+	LoopFreedom = "loop-freedom"
+	// PathConsistency: a forwarding walk for destination d that reaches a
+	// host reaches exactly d.
+	PathConsistency = "path-consistency"
+	// WaypointEnforcement: a delivered packet traversed its policy's
+	// waypoint chain in order.
+	WaypointEnforcement = "waypoint-enforcement"
+)
+
+// ProbeSrc is the concrete source used to walk wildcard-source rules. The
+// value is frozen: it appears in chaos campaign traces.
+const ProbeSrc = "chaos-probe"
+
+// ReportFunc records one violation; implementations deduplicate. The
+// dedup key is unique per (property, offending location); the trace token
+// links the violation to related trace events in the chaos engine.
+type ReportFunc func(property, dedupKey, detail, traceToken string)
+
+// Violation is one recorded property breach.
+type Violation struct {
+	Property string
+	DedupKey string
+	Detail   string
+	Token    string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+// WalkTables walks every installed output rule to its destination over the
+// given flow tables: each hop must find a covering rule (blackhole
+// freedom), never revisit a switch (loop freedom), and terminate at
+// exactly the rule's destination (path consistency). The tables may be a
+// simulator's own (safe on the sim loop), a quiesced snapshot taken from a
+// live fabric, or a synthesis engine's scratch state — every caller shares
+// this one walker.
+func WalkTables(tables map[string]*openflow.FlowTable, hosts map[string]bool, report ReportFunc) {
+	ids := make([]string, 0, len(tables))
+	for id := range tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, swID := range ids {
+		for _, rule := range tables[swID].Rules() {
+			if rule.Action.Type != openflow.ActionOutput {
+				continue
+			}
+			dst := rule.Match.Dst
+			if dst == openflow.Wildcard {
+				continue
+			}
+			src := rule.Match.Src
+			if src == openflow.Wildcard {
+				src = ProbeSrc
+			}
+			WalkTable(tables, hosts, swID, src, dst, report)
+		}
+	}
+}
+
+// WalkTable follows the forwarding chain for (src, dst) starting at sw.
+func WalkTable(tables map[string]*openflow.FlowTable, hosts map[string]bool, sw, src, dst string, report ReportFunc) {
+	visited := map[string]bool{}
+	cur := sw
+	for {
+		if visited[cur] {
+			report(LoopFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+				fmt.Sprintf("forwarding loop for dst %s revisits %s (entered at %s)", dst, cur, sw), dst)
+			return
+		}
+		visited[cur] = true
+		table := tables[cur]
+		if table == nil {
+			report(BlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+				fmt.Sprintf("rule chain for dst %s forwards to unknown node %s (entered at %s)", dst, cur, sw), dst)
+			return
+		}
+		rule, ok := table.Lookup(src, dst)
+		if !ok {
+			report(BlackholeFreedom, fmt.Sprintf("%s|%s|%s", sw, cur, dst),
+				fmt.Sprintf("blackhole: %s has no rule for dst %s (chain entered at %s)", cur, dst, sw), dst)
+			return
+		}
+		if rule.Action.Type == openflow.ActionDrop {
+			return // an explicit drop is policy, not a blackhole
+		}
+		next := rule.Action.NextHop
+		if hosts[next] {
+			if next != dst {
+				report(PathConsistency, fmt.Sprintf("%s|%s|%s", sw, next, dst),
+					fmt.Sprintf("packet for %s delivered to %s (chain entered at %s)", dst, next, sw), dst)
+			}
+			return
+		}
+		cur = next
+	}
+}
+
+// Outcome classifies where a forwarding walk ended.
+type Outcome int
+
+// Walk outcomes. Start at 1 so the zero value is invalid.
+const (
+	// OutcomeDelivered: the walk reached a host (To names it).
+	OutcomeDelivered Outcome = iota + 1
+	// OutcomeDropped: an explicit drop rule terminated the walk.
+	OutcomeDropped
+	// OutcomeBlackhole: a switch had no covering rule, or the next hop is
+	// an unknown node.
+	OutcomeBlackhole
+	// OutcomeLoop: the walk revisited a switch.
+	OutcomeLoop
+	// OutcomeNoRule: the starting switch itself has no covering rule (the
+	// flow is not programmed from here; vacuous for ingress policies).
+	OutcomeNoRule
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDelivered:
+		return "delivered"
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeBlackhole:
+		return "blackhole"
+	case OutcomeLoop:
+		return "loop"
+	case OutcomeNoRule:
+		return "no-rule"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Trace is the result of tracing one packet's forwarding chain.
+type Trace struct {
+	// Visited lists the switches traversed, in order, starting with the
+	// entry switch (present even when it has no covering rule).
+	Visited []string
+	Outcome Outcome
+	// To is the delivering host for OutcomeDelivered, the revisited switch
+	// for OutcomeLoop, and the ruleless/unknown node for OutcomeBlackhole.
+	To string
+}
+
+// TracePath follows the forwarding chain for (src, dst) from sw and
+// returns the visited switch sequence and how the walk ended. It is the
+// collecting sibling of WalkTable, used by the waypoint checker and the
+// synthesis engine's certificates.
+func TracePath(tables map[string]*openflow.FlowTable, hosts map[string]bool, sw, src, dst string) Trace {
+	tr := Trace{}
+	visited := map[string]bool{}
+	cur := sw
+	for {
+		if visited[cur] {
+			tr.Outcome, tr.To = OutcomeLoop, cur
+			return tr
+		}
+		visited[cur] = true
+		tr.Visited = append(tr.Visited, cur)
+		table := tables[cur]
+		if table == nil {
+			tr.Outcome, tr.To = OutcomeBlackhole, cur
+			return tr
+		}
+		rule, ok := table.Lookup(src, dst)
+		if !ok {
+			if cur == sw {
+				tr.Outcome, tr.To = OutcomeNoRule, cur
+			} else {
+				tr.Outcome, tr.To = OutcomeBlackhole, cur
+			}
+			return tr
+		}
+		if rule.Action.Type == openflow.ActionDrop {
+			tr.Outcome, tr.To = OutcomeDropped, cur
+			return tr
+		}
+		next := rule.Action.NextHop
+		if hosts[next] {
+			tr.Outcome, tr.To = OutcomeDelivered, next
+			return tr
+		}
+		cur = next
+	}
+}
+
+// Properties is a property set to check beyond the three walk invariants
+// (which are always on).
+type Properties struct {
+	Waypoints []WaypointPolicy
+}
+
+// Check runs every property checker over the tables and returns the
+// deduplicated violations: the three walk invariants plus waypoint
+// enforcement for the given policies.
+func Check(tables map[string]*openflow.FlowTable, hosts map[string]bool, props Properties) []Violation {
+	c := &collector{seen: make(map[string]bool)}
+	WalkTables(tables, hosts, c.report)
+	CheckWaypoints(tables, hosts, props.Waypoints, c.report)
+	return c.violations
+}
+
+// collector gathers deduplicated violations behind a ReportFunc.
+type collector struct {
+	seen       map[string]bool
+	violations []Violation
+}
+
+func (c *collector) report(property, dedupKey, detail, traceToken string) {
+	key := property + "|" + dedupKey
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.violations = append(c.violations, Violation{
+		Property: property,
+		DedupKey: dedupKey,
+		Detail:   detail,
+		Token:    traceToken,
+	})
+}

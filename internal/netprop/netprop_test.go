@@ -1,0 +1,373 @@
+package netprop
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cicero/internal/openflow"
+)
+
+// out builds an output rule.
+func out(prio int, src, dst, next string) openflow.Rule {
+	return openflow.Rule{
+		Priority: prio,
+		Match:    openflow.Match{Src: src, Dst: dst},
+		Action:   openflow.Action{Type: openflow.ActionOutput, NextHop: next},
+	}
+}
+
+// drop builds a drop rule.
+func drop(prio int, src, dst string) openflow.Rule {
+	return openflow.Rule{
+		Priority: prio,
+		Match:    openflow.Match{Src: src, Dst: dst},
+		Action:   openflow.Action{Type: openflow.ActionDrop},
+	}
+}
+
+// tablesOf builds flow tables from switch -> rules.
+func tablesOf(rules map[string][]openflow.Rule) map[string]*openflow.FlowTable {
+	tables := make(map[string]*openflow.FlowTable, len(rules))
+	for sw, rs := range rules {
+		t := openflow.NewFlowTable()
+		for _, r := range rs {
+			t.Add(r)
+		}
+		tables[sw] = t
+	}
+	return tables
+}
+
+func hostSet(hs ...string) map[string]bool {
+	m := make(map[string]bool, len(hs))
+	for _, h := range hs {
+		m[h] = true
+	}
+	return m
+}
+
+func properties(v []Violation) map[string]int {
+	m := make(map[string]int)
+	for _, x := range v {
+		m[x.Property]++
+	}
+	return m
+}
+
+func TestWalkCleanChain(t *testing.T) {
+	tables := tablesOf(map[string][]openflow.Rule{
+		"s1": {out(10, "*", "h2", "s2")},
+		"s2": {out(10, "*", "h2", "h2")},
+	})
+	hosts := hostSet("h1", "h2")
+	if v := Check(tables, hosts, Properties{}); len(v) != 0 {
+		t.Fatalf("clean chain reported violations: %v", v)
+	}
+	if v := LocalVerify(tables, hosts, Properties{}); len(v) != 0 {
+		t.Fatalf("clean chain failed local verification: %v", v)
+	}
+}
+
+func TestWalkDetectsLoopBlackholeInconsistency(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules map[string][]openflow.Rule
+		want  string
+	}{
+		{
+			name: "loop",
+			rules: map[string][]openflow.Rule{
+				"s1": {out(10, "*", "h2", "s2")},
+				"s2": {out(10, "*", "h2", "s1")},
+			},
+			want: LoopFreedom,
+		},
+		{
+			name: "blackhole-no-rule",
+			rules: map[string][]openflow.Rule{
+				"s1": {out(10, "*", "h2", "s2")},
+				"s2": nil,
+			},
+			want: BlackholeFreedom,
+		},
+		{
+			name: "blackhole-unknown-node",
+			rules: map[string][]openflow.Rule{
+				"s1": {out(10, "*", "h2", "nowhere")},
+			},
+			want: BlackholeFreedom,
+		},
+		{
+			name: "path-inconsistency",
+			rules: map[string][]openflow.Rule{
+				"s1": {out(10, "*", "h2", "h3")},
+			},
+			want: PathConsistency,
+		},
+	}
+	hosts := hostSet("h1", "h2", "h3")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tables := tablesOf(tc.rules)
+			v := Check(tables, hosts, Properties{})
+			if len(v) == 0 {
+				t.Fatalf("expected a %s violation, got none", tc.want)
+			}
+			if props := properties(v); props[tc.want] == 0 {
+				t.Fatalf("expected a %s violation, got %v", tc.want, v)
+			}
+			lv := LocalVerify(tables, hosts, Properties{})
+			if len(lv) == 0 {
+				t.Fatalf("local verification missed the %s violation", tc.want)
+			}
+		})
+	}
+}
+
+func TestDropIsPolicyNotBlackhole(t *testing.T) {
+	tables := tablesOf(map[string][]openflow.Rule{
+		"s1": {out(10, "*", "h2", "s2")},
+		"s2": {drop(20, "*", "h2")},
+	})
+	hosts := hostSet("h2")
+	if v := Check(tables, hosts, Properties{}); len(v) != 0 {
+		t.Fatalf("explicit drop flagged: %v", v)
+	}
+	if v := LocalVerify(tables, hosts, Properties{}); len(v) != 0 {
+		t.Fatalf("explicit drop failed local verification: %v", v)
+	}
+}
+
+// Regression (multi-waypoint chains): the chaos walker historically only
+// modelled a single firewall waypoint; netprop must enforce ordered chains
+// of arbitrary length.
+func TestWaypointChains(t *testing.T) {
+	// Path s1 -> w1 -> w2 -> s4 -> h2.
+	chainRules := map[string][]openflow.Rule{
+		"s1": {out(10, "h1", "h2", "w1")},
+		"w1": {out(10, "h1", "h2", "w2")},
+		"w2": {out(10, "h1", "h2", "s4")},
+		"s4": {out(10, "h1", "h2", "h2")},
+	}
+	hosts := hostSet("h1", "h2")
+	policy := func(wps ...string) Properties {
+		return Properties{Waypoints: []WaypointPolicy{{
+			Src: "h1", Dst: "h2", Ingress: "s1", Waypoints: wps,
+		}}}
+	}
+
+	t.Run("chain-satisfied", func(t *testing.T) {
+		tables := tablesOf(chainRules)
+		if v := Check(tables, hosts, policy("w1", "w2")); len(v) != 0 {
+			t.Fatalf("ordered chain w1,w2 should hold: %v", v)
+		}
+		if v := LocalVerify(tables, hosts, policy("w1", "w2")); len(v) != 0 {
+			t.Fatalf("local verification rejected satisfied chain: %v", v)
+		}
+	})
+
+	t.Run("chain-order-violated", func(t *testing.T) {
+		// The path visits w1 then w2; requiring w2 before w1 must fail.
+		tables := tablesOf(chainRules)
+		v := Check(tables, hosts, policy("w2", "w1"))
+		if props := properties(v); props[WaypointEnforcement] == 0 {
+			t.Fatalf("out-of-order chain not flagged: %v", v)
+		}
+		lv := LocalVerify(tables, hosts, policy("w2", "w1"))
+		if props := properties(lv); props[WaypointEnforcement] == 0 {
+			t.Fatalf("local verification missed out-of-order chain: %v", lv)
+		}
+	})
+
+	t.Run("waypoint-bypassed", func(t *testing.T) {
+		// Reroute s1 directly to s4: both waypoints bypassed.
+		rules := map[string][]openflow.Rule{
+			"s1": {out(10, "h1", "h2", "s4")},
+			"s4": {out(10, "h1", "h2", "h2")},
+		}
+		tables := tablesOf(rules)
+		v := Check(tables, hosts, policy("w1", "w2"))
+		if props := properties(v); props[WaypointEnforcement] == 0 {
+			t.Fatalf("bypass not flagged: %v", v)
+		}
+		lv := LocalVerify(tables, hosts, policy("w1", "w2"))
+		if props := properties(lv); props[WaypointEnforcement] == 0 {
+			t.Fatalf("local verification missed bypass: %v", lv)
+		}
+	})
+
+	t.Run("partial-chain-violated", func(t *testing.T) {
+		// Visit w1 but route around w2.
+		rules := map[string][]openflow.Rule{
+			"s1": {out(10, "h1", "h2", "w1")},
+			"w1": {out(10, "h1", "h2", "s4")},
+			"s4": {out(10, "h1", "h2", "h2")},
+		}
+		tables := tablesOf(rules)
+		v := Check(tables, hosts, policy("w1", "w2"))
+		if props := properties(v); props[WaypointEnforcement] == 0 {
+			t.Fatalf("partial chain not flagged: %v", v)
+		}
+		for _, x := range v {
+			if x.Property == WaypointEnforcement && !strings.Contains(x.Detail, "w2") {
+				t.Fatalf("violation should name the missing waypoint w2: %s", x.Detail)
+			}
+		}
+	})
+
+	t.Run("dropped-flow-vacuous", func(t *testing.T) {
+		rules := map[string][]openflow.Rule{
+			"s1": {drop(20, "h1", "h2")},
+		}
+		tables := tablesOf(rules)
+		if v := Check(tables, hosts, policy("w1", "w2")); len(v) != 0 {
+			t.Fatalf("dropped flow should be vacuously compliant: %v", v)
+		}
+	})
+
+	t.Run("unprogrammed-flow-vacuous", func(t *testing.T) {
+		tables := tablesOf(map[string][]openflow.Rule{"s1": nil})
+		if v := Check(tables, hosts, policy("w1")); len(v) != 0 {
+			t.Fatalf("unprogrammed flow should be vacuously compliant: %v", v)
+		}
+	})
+
+	t.Run("wildcard-source-policy", func(t *testing.T) {
+		rules := map[string][]openflow.Rule{
+			"s1": {out(10, "*", "h2", "s4")},
+			"s4": {out(10, "*", "h2", "h2")},
+		}
+		tables := tablesOf(rules)
+		props := Properties{Waypoints: []WaypointPolicy{{
+			Src: openflow.Wildcard, Dst: "h2", Ingress: "s1", Waypoints: []string{"w1"},
+		}}}
+		v := Check(tables, hosts, props)
+		if ps := properties(v); ps[WaypointEnforcement] == 0 {
+			t.Fatalf("wildcard-source bypass not flagged: %v", v)
+		}
+	})
+}
+
+func TestChainProgress(t *testing.T) {
+	cases := []struct {
+		chain, visited []string
+		want           int
+	}{
+		{[]string{"a", "b"}, []string{"x", "a", "y", "b"}, 2},
+		{[]string{"a", "b"}, []string{"b", "a"}, 1},
+		{[]string{"a", "a"}, []string{"a"}, 1},
+		{[]string{"a"}, []string{"b"}, 0},
+		{nil, []string{"a"}, 0},
+	}
+	for i, tc := range cases {
+		if got := chainProgress(tc.chain, tc.visited); got != tc.want {
+			t.Errorf("case %d: chainProgress(%v, %v) = %d, want %d", i, tc.chain, tc.visited, got, tc.want)
+		}
+	}
+}
+
+// TestLocalVerifyMatchesWalks cross-checks the two check styles on
+// randomized rule soups: local verification must flag a state as
+// (in)consistent exactly when the walk checkers do.
+func TestLocalVerifyMatchesWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nodes := []string{"s0", "s1", "s2", "s3", "s4"}
+	hostsList := []string{"h0", "h1", "h2"}
+	hosts := hostSet(hostsList...)
+	for iter := 0; iter < 500; iter++ {
+		rules := make(map[string][]openflow.Rule)
+		for _, sw := range nodes {
+			rules[sw] = nil
+		}
+		nrules := 1 + rng.Intn(8)
+		for i := 0; i < nrules; i++ {
+			sw := nodes[rng.Intn(len(nodes))]
+			src := "*"
+			if rng.Intn(2) == 0 {
+				src = hostsList[rng.Intn(len(hostsList))]
+			}
+			dst := hostsList[rng.Intn(len(hostsList))]
+			var r openflow.Rule
+			if rng.Intn(6) == 0 {
+				r = drop(10+rng.Intn(2)*10, src, dst)
+			} else {
+				next := nodes[rng.Intn(len(nodes))]
+				switch rng.Intn(5) {
+				case 0:
+					next = hostsList[rng.Intn(len(hostsList))]
+				case 1:
+					next = "unknown"
+				}
+				r = out(10+rng.Intn(2)*10, src, dst, next)
+			}
+			rules[sw] = append(rules[sw], r)
+		}
+		var props Properties
+		if rng.Intn(2) == 0 {
+			props.Waypoints = []WaypointPolicy{{
+				Src:       hostsList[rng.Intn(len(hostsList))],
+				Dst:       hostsList[rng.Intn(len(hostsList))],
+				Ingress:   nodes[rng.Intn(len(nodes))],
+				Waypoints: []string{nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]},
+			}}
+		}
+		tables := tablesOf(rules)
+		walk := Check(tables, hosts, props)
+		local := LocalVerify(tables, hosts, props)
+		if (len(walk) == 0) != (len(local) == 0) {
+			t.Fatalf("iter %d: walk=%v local=%v rules=%v", iter, walk, local, rules)
+		}
+	}
+}
+
+// TestLocalCheckCatchesTamperedCertificates plants a corrupted distance in
+// an otherwise valid labeling: the node-local audit must reject it.
+func TestLocalCheckCatchesTamperedCertificates(t *testing.T) {
+	tables := tablesOf(map[string][]openflow.Rule{
+		"s1": {out(10, "*", "h2", "s2")},
+		"s2": {out(10, "*", "h2", "h2")},
+	})
+	hosts := hostSet("h2")
+	certs, v := Certify(tables, hosts, Properties{})
+	if len(v) != 0 {
+		t.Fatalf("setup not clean: %v", v)
+	}
+	c := certs.Cert(ProbeSrc, "h2", "s1")
+	if c == nil {
+		t.Fatal("missing certificate at s1")
+	}
+	c.Dist = 99
+	if audit := certs.LocalCheck(tables, hosts, Properties{}); len(audit) == 0 {
+		t.Fatal("tampered certificate passed the local audit")
+	}
+}
+
+func TestTracePathOutcomes(t *testing.T) {
+	tables := tablesOf(map[string][]openflow.Rule{
+		"s1": {out(10, "*", "h2", "s2")},
+		"s2": {out(10, "*", "h2", "h2")},
+		"l1": {out(10, "*", "h3", "l2")},
+		"l2": {out(10, "*", "h3", "l1")},
+	})
+	hosts := hostSet("h2", "h3")
+	cases := []struct {
+		sw, dst string
+		outcome Outcome
+	}{
+		{"s1", "h2", OutcomeDelivered},
+		{"l1", "h3", OutcomeLoop},
+		{"s1", "h9", OutcomeNoRule},
+	}
+	for _, tc := range cases {
+		tr := TracePath(tables, hosts, tc.sw, ProbeSrc, tc.dst)
+		if tr.Outcome != tc.outcome {
+			t.Errorf("TracePath(%s, %s) = %v, want %v", tc.sw, tc.dst, tr.Outcome, tc.outcome)
+		}
+	}
+	tr := TracePath(tables, hosts, "s1", ProbeSrc, "h2")
+	if fmt.Sprint(tr.Visited) != "[s1 s2]" || tr.To != "h2" {
+		t.Errorf("unexpected trace: %+v", tr)
+	}
+}

@@ -1,0 +1,81 @@
+package netprop
+
+import (
+	"fmt"
+	"strings"
+
+	"cicero/internal/openflow"
+)
+
+// WaypointPolicy requires packets of one flow to traverse a chain of
+// switches in order before delivery. Policies are ingress-scoped: the
+// checked walk starts at the switch where the flow enters the network
+// (suffix walks past an already-traversed waypoint are legitimately
+// waypoint-free, so only the ingress walk is meaningful). The chain is a
+// sequence, not a single node: a packet must visit Waypoints[0], then —
+// anywhere later on its path — Waypoints[1], and so on. A single-element
+// chain reproduces the classic firewall-waypoint property.
+type WaypointPolicy struct {
+	// Src is the flow's source host, or openflow.Wildcard for any source
+	// (checked with the probe source).
+	Src string
+	// Dst is the flow's destination host.
+	Dst string
+	// Ingress is the switch where the flow enters the network.
+	Ingress string
+	// Waypoints is the ordered switch chain the packet must traverse.
+	Waypoints []string
+}
+
+// String renders the policy for reports.
+func (p WaypointPolicy) String() string {
+	return fmt.Sprintf("%s->%s via %s from %s", p.Src, p.Dst, strings.Join(p.Waypoints, ","), p.Ingress)
+}
+
+// probe returns the concrete source used to walk the policy's flow.
+func (p WaypointPolicy) probe() string {
+	if p.Src == openflow.Wildcard {
+		return ProbeSrc
+	}
+	return p.Src
+}
+
+// chainProgress greedily matches the waypoint chain against a visited
+// switch sequence and returns how many chain elements were matched in
+// order.
+func chainProgress(chain, visited []string) int {
+	matched := 0
+	for _, sw := range visited {
+		if matched < len(chain) && sw == chain[matched] {
+			matched++
+		}
+	}
+	return matched
+}
+
+// CheckWaypoints verifies every policy over the tables: if the ingress
+// walk delivers the packet to the policy's destination, the visited switch
+// sequence must contain the full waypoint chain in order. Walks that do
+// not deliver (no ingress rule, an explicit drop, a blackhole or loop) are
+// vacuously compliant — the packet never bypassed the chain; blackholes
+// and loops are the other checkers' findings.
+func CheckWaypoints(tables map[string]*openflow.FlowTable, hosts map[string]bool, policies []WaypointPolicy, report ReportFunc) {
+	for i, p := range policies {
+		if len(p.Waypoints) == 0 {
+			continue
+		}
+		tr := TracePath(tables, hosts, p.Ingress, p.probe(), p.Dst)
+		if tr.Outcome != OutcomeDelivered || tr.To != p.Dst {
+			continue
+		}
+		matched := chainProgress(p.Waypoints, tr.Visited)
+		if matched < len(p.Waypoints) {
+			report(WaypointEnforcement,
+				fmt.Sprintf("%s|%s|%s|%d", p.Ingress, p.Src, p.Dst, i),
+				fmt.Sprintf("packet %s->%s delivered via %s without traversing waypoint %s (chain %s, matched %d/%d)",
+					p.Src, p.Dst, strings.Join(tr.Visited, "->"), p.Waypoints[matched],
+					strings.Join(p.Waypoints, ","), matched, len(p.Waypoints)),
+				p.Dst)
+		}
+	}
+}

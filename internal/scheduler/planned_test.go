@@ -1,0 +1,61 @@
+package scheduler
+
+import (
+	"testing"
+
+	"cicero/internal/openflow"
+)
+
+func plannedUpdates(origin string, n int) []Update {
+	out := make([]Update, n)
+	for i := range out {
+		out[i] = Update{
+			ID: openflow.MsgID{Origin: origin, Seq: uint64(i)},
+			Mod: openflow.FlowMod{Op: openflow.FlowAdd, Switch: "s0",
+				Rule: openflow.Rule{Priority: 10, Cookie: uint64(i + 1)}},
+		}
+	}
+	return out
+}
+
+func TestPlannedRegisteredOrigin(t *testing.T) {
+	sched := Planned{ByOrigin: map[string][][]int{
+		"ev#1/d0": {nil, {0}, {1}},
+	}}
+	plan := sched.Schedule(plannedUpdates("ev#1/d0", 3))
+	if err := Validate(plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan[0].DependsOn) != 0 {
+		t.Fatalf("update 0 has deps %v, want none", plan[0].DependsOn)
+	}
+	for i := 1; i < 3; i++ {
+		if len(plan[i].DependsOn) != 1 || plan[i].DependsOn[0] != plan[i-1].ID {
+			t.Fatalf("update %d deps %v, want chain on %s", i, plan[i].DependsOn, plan[i-1].ID)
+		}
+	}
+}
+
+func TestPlannedUnknownOriginFallsBack(t *testing.T) {
+	sched := Planned{ByOrigin: map[string][][]int{"ev#1/d0": {nil}}}
+	updates := plannedUpdates("other#9/d0", 3)
+	got := sched.Schedule(updates)
+	want := ReversePath{}.Schedule(updates)
+	if len(got) != len(want) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i].DependsOn) != len(want[i].DependsOn) {
+			t.Fatalf("update %d: fallback deps %v, want reverse-path deps %v",
+				i, got[i].DependsOn, want[i].DependsOn)
+		}
+		for j := range got[i].DependsOn {
+			if got[i].DependsOn[j] != want[i].DependsOn[j] {
+				t.Fatalf("update %d dep %d: %s vs %s", i, j, got[i].DependsOn[j], want[i].DependsOn[j])
+			}
+		}
+	}
+	if (Planned{}).Name() != "planned" || (Planned{Label: "x"}).Name() != "x" {
+		t.Fatal("Planned.Name mismatch")
+	}
+}

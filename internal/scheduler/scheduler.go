@@ -157,6 +157,46 @@ func (s Static) Schedule(updates []Update) Plan {
 	return plan
 }
 
+// Planned replays externally synthesized dependency graphs (the update
+// synthesis engine's output): each event's plan is registered under the
+// update origin the control plane will assign its updates, as a
+// positional dependency list aligned with the update order the planning
+// app emits. Origins without a registered graph fall back to Fallback
+// (ReversePath when nil), so a Planned scheduler can serve a mixed
+// workload.
+type Planned struct {
+	Label string
+	// ByOrigin maps an update origin ("<event-id>/d<domain>") to the
+	// positional dependency lists for that event's updates.
+	ByOrigin map[string][][]int
+	// Fallback schedules updates whose origin has no registered graph.
+	Fallback Scheduler
+}
+
+var _ Scheduler = Planned{}
+
+// Name implements Scheduler.
+func (p Planned) Name() string {
+	if p.Label == "" {
+		return "planned"
+	}
+	return p.Label
+}
+
+// Schedule implements Scheduler.
+func (p Planned) Schedule(updates []Update) Plan {
+	if len(updates) > 0 {
+		if deps, ok := p.ByOrigin[updates[0].ID.Origin]; ok {
+			return Static{Label: p.Name(), Deps: func([]Update) [][]int { return deps }}.Schedule(updates)
+		}
+	}
+	fb := p.Fallback
+	if fb == nil {
+		fb = ReversePath{}
+	}
+	return fb.Schedule(updates)
+}
+
 // Errors returned by the package.
 var (
 	// ErrCycle reports a dependency cycle in a plan.

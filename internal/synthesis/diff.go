@@ -1,0 +1,169 @@
+package synthesis
+
+import (
+	"fmt"
+	"sort"
+
+	"cicero/internal/openflow"
+)
+
+// op is one atomic table change in a candidate plan. Mod is the FlowMod as
+// executed; Old is the old-config rule the op displaces — the delete
+// target, or the previous occupant of a replaced (priority, match) slot —
+// and is nil for a pure add.
+type op struct {
+	Mod openflow.FlowMod
+	Old *openflow.Rule
+}
+
+// probe returns the concrete walk probe of the op's flow.
+func (o op) probe() (string, string) { return probeOf(o.Mod.Rule) }
+
+// String renders the op for reports.
+func (o op) String() string {
+	kind := "add"
+	if o.Mod.Op == openflow.FlowDelete {
+		kind = "del"
+	} else if o.Old != nil {
+		kind = "replace"
+	}
+	return fmt.Sprintf("%s@%s prio=%d match=%s->%s next=%s", kind, o.Mod.Switch,
+		o.Mod.Rule.Priority, o.Mod.Rule.Match.Src, o.Mod.Rule.Match.Dst, o.Mod.Rule.Action.NextHop)
+}
+
+// exactDelete verifies a FlowDelete removes exactly its target rule:
+// FlowTable.Delete removes every rule whose match the delete's match
+// subsumes (filtered by cookie), so any other old- or new-config rule on
+// the switch that the delete could collaterally hit makes the plan's
+// semantics ambiguous.
+func exactDelete(s *Scenario, sw string, target openflow.Rule) *Rejection {
+	for _, side := range [][]openflow.Rule{s.Old[sw], s.New[sw]} {
+		for _, r := range side {
+			if r == target {
+				continue
+			}
+			if subsumes(target.Match, r.Match) && target.Cookie == r.Cookie {
+				return &Rejection{Stage: "diff",
+					Reason:   "ambiguous delete: match+cookie would also remove another rule",
+					Evidence: fmt.Sprintf("switch %s, delete %v would hit %v", sw, target, r)}
+			}
+		}
+	}
+	return nil
+}
+
+// subsumes reports whether outer covers every packet inner covers
+// (mirrors the flow table's delete semantics).
+func subsumes(outer, inner openflow.Match) bool {
+	srcOK := outer.Src == openflow.Wildcard || outer.Src == inner.Src
+	dstOK := outer.Dst == openflow.Wildcard || outer.Dst == inner.Dst
+	return srcOK && dstOK
+}
+
+// diffOps computes the update set transforming Old into New: per switch,
+// a rule slot — (priority, match) — present only in Old becomes a delete,
+// present only in New becomes an add, and present in both with a changed
+// action or cookie becomes a replace (a single Add, atomic at the switch).
+// The op order is deterministic: switches sorted, then the config's own
+// rule order.
+func diffOps(s *Scenario) ([]op, *Rejection) {
+	switches := map[string]bool{}
+	for sw := range s.Old {
+		switches[sw] = true
+	}
+	for sw := range s.New {
+		switches[sw] = true
+	}
+	ids := make([]string, 0, len(switches))
+	for sw := range switches {
+		ids = append(ids, sw)
+	}
+	sort.Strings(ids)
+
+	var ops []op
+	for _, sw := range ids {
+		oldByKey := make(map[ruleKey]openflow.Rule, len(s.Old[sw]))
+		newByKey := make(map[ruleKey]openflow.Rule, len(s.New[sw]))
+		for _, r := range s.Old[sw] {
+			oldByKey[ruleKey{r.Priority, r.Match}] = r
+		}
+		for _, r := range s.New[sw] {
+			newByKey[ruleKey{r.Priority, r.Match}] = r
+		}
+		// Adds and replaces, in new-config rule order.
+		for _, nr := range s.New[sw] {
+			k := ruleKey{nr.Priority, nr.Match}
+			if or, ok := oldByKey[k]; ok {
+				if or == nr {
+					continue // unchanged
+				}
+				old := or
+				ops = append(ops, op{Mod: openflow.FlowMod{Op: openflow.FlowAdd, Switch: sw, Rule: nr}, Old: &old})
+				continue
+			}
+			ops = append(ops, op{Mod: openflow.FlowMod{Op: openflow.FlowAdd, Switch: sw, Rule: nr}})
+		}
+		// Deletes, in old-config rule order.
+		for _, or := range s.Old[sw] {
+			if _, ok := newByKey[ruleKey{or.Priority, or.Match}]; ok {
+				continue
+			}
+			if rej := exactDelete(s, sw, or); rej != nil {
+				return nil, rej
+			}
+			old := or
+			ops = append(ops, op{Mod: openflow.FlowMod{Op: openflow.FlowDelete, Switch: sw, Rule: or}, Old: &old})
+		}
+	}
+	return ops, nil
+}
+
+// interactionClasses groups ops into packet classes by match overlap
+// (union-find, transitive): two ops whose matches can cover a common
+// packet may appear on the same forwarding walk and must be ordered
+// relative to each other; ops in different classes are provably
+// independent — no lookup for one class's probes ever returns another
+// class's rules. Classes come back as ascending op-index slices, ordered
+// by their smallest member.
+func interactionClasses(ops []op) [][]int {
+	parent := make([]int, len(ops))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			if matchesOverlap(ops[i].Mod.Rule.Match, ops[j].Mod.Rule.Match) {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range ops {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package synthesis
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cicero/internal/netprop"
+	"cicero/internal/openflow"
+	"cicero/internal/topology"
+)
+
+// Generate builds a randomized synthesis scenario for the seed and
+// synthesizes its plan. It deterministically retries sub-seeds until the
+// scenario validates, synthesizes, and the bad-ordering canary is
+// plantable, so every returned (scenario, plan, canary-seed) triple is
+// usable by construction — the sweep then re-verifies everything
+// independently. The scenario is a link-failure reroute: a random
+// ring-with-chords topology, a handful of host-to-host flows routed along
+// shortest paths (half pair-matched, half wildcard-source), a failed link
+// forcing some flows onto new paths, and waypoint-chain policies drawn
+// from the switches the old and new paths share; a fraction of seeds
+// additionally carry a waypoint-detour swap that provably requires the
+// two-phase fallback.
+func Generate(seed int64) (*Scenario, *Plan, error) {
+	for attempt := int64(0); attempt < 64; attempt++ {
+		scn, ok := generateOnce(seed*1009 + attempt)
+		if !ok {
+			continue
+		}
+		plan, err := Synthesize(scn)
+		if err != nil {
+			continue
+		}
+		if len(plan.Updates) == 0 {
+			continue
+		}
+		if _, _, ok := PlantBadOrdering(scn, plan, seed); !ok {
+			continue
+		}
+		return scn, plan, nil
+	}
+	return nil, nil, fmt.Errorf("seed %d: no synthesizable scenario in 64 attempts", seed)
+}
+
+// generateOnce builds one candidate scenario; ok=false on degenerate
+// draws (unreachable flows, paths too short to update).
+func generateOnce(subseed int64) (*Scenario, bool) {
+	rng := rand.New(rand.NewSource(subseed))
+	g := topology.NewGraph()
+
+	// Ring of switches with random chords.
+	nSw := 4 + rng.Intn(5)
+	sw := make([]string, nSw)
+	for i := range sw {
+		sw[i] = fmt.Sprintf("s%d", i)
+		g.AddNode(topology.Node{ID: sw[i], Kind: topology.KindEdge})
+	}
+	link := func(a, b string) { _ = g.AddLink(a, b, time.Duration(50+rng.Intn(200))*time.Microsecond, 10) }
+	for i := range sw {
+		link(sw[i], sw[(i+1)%nSw])
+	}
+	for c := 0; c < nSw/2; c++ {
+		a, b := rng.Intn(nSw), rng.Intn(nSw)
+		if a != b {
+			link(sw[a], sw[b])
+		}
+	}
+
+	// Hosts, one switch each (switches may host several).
+	nHosts := 3 + rng.Intn(3)
+	hosts := make(map[string]bool, nHosts)
+	hostSw := make(map[string]string, nHosts)
+	var hostIDs []string
+	for i := 0; i < nHosts; i++ {
+		h := fmt.Sprintf("h%d", i)
+		g.AddNode(topology.Node{ID: h, Kind: topology.KindHost})
+		s := sw[rng.Intn(nSw)]
+		link(h, s)
+		hosts[h] = true
+		hostSw[h] = s
+		hostIDs = append(hostIDs, h)
+	}
+
+	// Flows with pairwise-distinct destinations.
+	type flow struct {
+		src, dst string
+		wildcard bool
+		prio     int
+	}
+	nFlows := 2 + rng.Intn(3)
+	if nFlows > nHosts-1 {
+		nFlows = nHosts - 1
+	}
+	usedDst := map[string]bool{}
+	var flows []flow
+	for tries := 0; len(flows) < nFlows && tries < 200; tries++ {
+		src := hostIDs[rng.Intn(nHosts)]
+		dst := hostIDs[rng.Intn(nHosts)]
+		if src == dst || usedDst[dst] || hostSw[src] == hostSw[dst] {
+			continue
+		}
+		usedDst[dst] = true
+		f := flow{src: src, dst: dst, wildcard: rng.Intn(2) == 0}
+		f.prio = 20
+		if f.wildcard {
+			f.prio = 10
+		}
+		flows = append(flows, f)
+	}
+	if len(flows) == 0 {
+		return nil, false
+	}
+
+	// Old paths on the intact graph.
+	oldPath := make(map[int][]string)
+	for i, f := range flows {
+		p := g.ShortestPath(f.src, f.dst)
+		if len(p) < 4 { // src, ≥2 switches, dst — else no link to fail
+			return nil, false
+		}
+		oldPath[i] = p
+	}
+
+	// Fail one switch-to-switch link on a random flow's old path.
+	victim := rng.Intn(len(flows))
+	vp := oldPath[victim]
+	cut := 1 + rng.Intn(len(vp)-3) // switch-switch hop: not the host links
+	failedA, failedB := vp[cut], vp[cut+1]
+	g.RemoveLink(failedA, failedB)
+	newPath := make(map[int][]string)
+	for i, f := range flows {
+		p := g.ShortestPath(f.src, f.dst)
+		if len(p) < 3 {
+			g.AddLink(failedA, failedB, 100*time.Microsecond, 10)
+			return nil, false
+		}
+		newPath[i] = p
+	}
+	// The scenario keeps the intact topology: the failed link is the
+	// event motivating the reroute, not a structural change.
+	_ = g.AddLink(failedA, failedB, 100*time.Microsecond, 10)
+
+	// Lay rules along both paths. Unchanged hops keep their cookie.
+	cookie := uint64(1)
+	old := map[string][]openflow.Rule{}
+	neu := map[string][]openflow.Rule{}
+	var policies []netprop.WaypointPolicy
+	for i, f := range flows {
+		match := openflow.Match{Src: f.src, Dst: f.dst}
+		if f.wildcard {
+			match.Src = openflow.Wildcard
+		}
+		newHops := pathHops(newPath[i])
+		shared := map[string]uint64{} // hop -> cookie of an unchanged rule
+		for _, hop := range g.SwitchesOnPath(oldPath[i]) {
+			next := pathHops(oldPath[i])[hop]
+			c := cookie
+			cookie++
+			old[hop] = append(old[hop], openflow.Rule{Priority: f.prio, Match: match,
+				Action: openflow.Action{Type: openflow.ActionOutput, NextHop: next}, Cookie: c})
+			if newHops[hop] == next {
+				shared[hop] = c
+			}
+		}
+		for _, hop := range g.SwitchesOnPath(newPath[i]) {
+			next := newHops[hop]
+			c, unchanged := shared[hop]
+			if !unchanged {
+				c = cookie
+				cookie++
+			}
+			neu[hop] = append(neu[hop], openflow.Rule{Priority: f.prio, Match: match,
+				Action: openflow.Action{Type: openflow.ActionOutput, NextHop: next}, Cookie: c})
+		}
+
+		// Waypoint chain: up to 2 switches both paths traverse in order.
+		if rng.Intn(2) == 0 {
+			common := orderedCommon(g.SwitchesOnPath(oldPath[i]), g.SwitchesOnPath(newPath[i]))
+			if len(common) > 0 {
+				chain := pickChain(rng, common)
+				policies = append(policies, netprop.WaypointPolicy{
+					Src: match.Src, Dst: f.dst, Ingress: hostSw[f.src], Waypoints: chain})
+			}
+		}
+	}
+
+	// A fraction of scenarios embed the waypoint-detour swap: two relay
+	// switches exchange places across a waypoint, which provably rules
+	// out any single-phase order and exercises the two-phase fallback.
+	if nSw >= 5 && rng.Intn(10) < 3 {
+		perm := rng.Perm(nSw)[:5]
+		in, a, w, b, e := sw[perm[0]], sw[perm[1]], sw[perm[2]], sw[perm[3]], sw[perm[4]]
+		hg := fmt.Sprintf("h%d", nHosts)
+		g.AddNode(topology.Node{ID: hg, Kind: topology.KindHost})
+		link(hg, e)
+		hosts[hg] = true
+		match := openflow.Match{Src: openflow.Wildcard, Dst: hg}
+		add := func(cfg map[string][]openflow.Rule, at, next string) {
+			cfg[at] = append(cfg[at], openflow.Rule{Priority: 15, Match: match,
+				Action: openflow.Action{Type: openflow.ActionOutput, NextHop: next}, Cookie: cookie})
+			cookie++
+		}
+		// Old: in→a→w→b→e; new: in→b→w→a→e; e→hg unchanged.
+		add(old, in, a)
+		add(old, a, w)
+		add(old, w, b)
+		add(old, b, e)
+		ec := cookie
+		cookie++
+		egress := openflow.Rule{Priority: 15, Match: match,
+			Action: openflow.Action{Type: openflow.ActionOutput, NextHop: hg}, Cookie: ec}
+		old[e] = append(old[e], egress)
+		neu[e] = append(neu[e], egress)
+		add(neu, in, b)
+		add(neu, b, w)
+		add(neu, w, a)
+		add(neu, a, e)
+		policies = append(policies, netprop.WaypointPolicy{
+			Src: openflow.Wildcard, Dst: hg, Ingress: in, Waypoints: []string{w}})
+	}
+
+	return &Scenario{
+		Name:  fmt.Sprintf("synth-%d", subseed),
+		Graph: g,
+		Hosts: hosts,
+		Old:   old,
+		New:   neu,
+		Props: netprop.Properties{Waypoints: policies},
+	}, true
+}
+
+// pathHops maps each switch on a host-to-host path to its next hop.
+func pathHops(path []string) map[string]string {
+	hops := make(map[string]string, len(path))
+	for i := 1; i < len(path)-1; i++ {
+		hops[path[i]] = path[i+1]
+	}
+	return hops
+}
+
+// orderedCommon returns the switches of a that appear in b in the same
+// relative order (greedy ordered intersection).
+func orderedCommon(a, b []string) []string {
+	posB := make(map[string]int, len(b))
+	for i, s := range b {
+		posB[s] = i
+	}
+	var out []string
+	last := -1
+	for _, s := range a {
+		if p, ok := posB[s]; ok && p > last {
+			out = append(out, s)
+			last = p
+		}
+	}
+	return out
+}
+
+// pickChain draws an ordered sub-chain of up to 2 waypoints.
+func pickChain(rng *rand.Rand, common []string) []string {
+	n := 1 + rng.Intn(2)
+	if n > len(common) {
+		n = len(common)
+	}
+	idx := rng.Perm(len(common))[:n]
+	if len(idx) == 2 && idx[0] > idx[1] {
+		idx[0], idx[1] = idx[1], idx[0]
+	}
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = common[j]
+	}
+	return out
+}

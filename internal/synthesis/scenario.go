@@ -1,0 +1,204 @@
+// Package synthesis derives provably consistent network update plans from
+// an old/new configuration pair, in the spirit of McClurg et al.'s
+// "Efficient Synthesis of Network Updates": it searches for a dependency
+// ordering of the individual flow-table updates such that every
+// intermediate state satisfies the requested data-plane properties
+// (internal/netprop), and falls back to an explicit two-phase
+// break-before-make schedule when no single-phase order exists. Every plan
+// is certified by per-node local verification (netprop.LocalVerify) before
+// it is handed to the scheduler/execution pipeline, and every rejection
+// carries a counterexample.
+package synthesis
+
+import (
+	"fmt"
+	"sort"
+
+	"cicero/internal/netprop"
+	"cicero/internal/openflow"
+	"cicero/internal/topology"
+)
+
+// Scenario is one synthesis problem: a topology with hosts, an old and a
+// new data-plane configuration (per-switch rule sets), and the property
+// set both endpoint configurations must satisfy.
+type Scenario struct {
+	// Name tags the scenario; it becomes the update origin prefix when the
+	// plan is executed through the protocol pipeline.
+	Name string
+	// Graph is the network topology. Every non-host node owns a flow table
+	// (possibly empty).
+	Graph *topology.Graph
+	// Hosts is the set of end hosts (walk terminals).
+	Hosts map[string]bool
+	// Old and New map switch ID to its installed rules.
+	Old map[string][]openflow.Rule
+	New map[string][]openflow.Rule
+	// Props are the properties — beyond the always-on walk invariants —
+	// that old, new, and every intermediate state must satisfy.
+	Props netprop.Properties
+}
+
+// Switches returns the scenario's switch IDs, sorted.
+func (s *Scenario) Switches() []string {
+	var out []string
+	for _, n := range s.Graph.Nodes() {
+		if n.Kind != topology.KindHost {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tablesFrom builds one flow table per switch from a rule map. Switches
+// absent from the map get empty tables (present but ruleless — a miss
+// there is a blackhole, not an unknown node).
+func tablesFrom(switches []string, rules map[string][]openflow.Rule) map[string]*openflow.FlowTable {
+	tables := make(map[string]*openflow.FlowTable, len(switches))
+	for _, sw := range switches {
+		t := openflow.NewFlowTable()
+		for _, r := range rules[sw] {
+			t.Add(r)
+		}
+		tables[sw] = t
+	}
+	return tables
+}
+
+// TablesOld materializes the old configuration as flow tables.
+func (s *Scenario) TablesOld() map[string]*openflow.FlowTable {
+	return tablesFrom(s.Switches(), s.Old)
+}
+
+// TablesNew materializes the new configuration as flow tables.
+func (s *Scenario) TablesNew() map[string]*openflow.FlowTable {
+	return tablesFrom(s.Switches(), s.New)
+}
+
+// cloneTables deep-copies a table map for scratch mutation.
+func cloneTables(tables map[string]*openflow.FlowTable) map[string]*openflow.FlowTable {
+	out := make(map[string]*openflow.FlowTable, len(tables))
+	for sw, t := range tables {
+		nt := openflow.NewFlowTable()
+		for _, r := range t.Rules() {
+			nt.Add(r)
+		}
+		out[sw] = nt
+	}
+	return out
+}
+
+// ruleKey identifies a rule slot within one switch's table: Add replaces
+// on identical (priority, match), so this is the unit of change.
+type ruleKey struct {
+	priority int
+	match    openflow.Match
+}
+
+// Rejection explains why Synthesize refused a scenario. It always carries
+// a counterexample: either the violations of a concrete reachable state
+// (Violations) or the offending rule/update (Evidence).
+type Rejection struct {
+	// Stage names the phase that rejected: "validate", "diff", "order",
+	// "teardown", or "install".
+	Stage string
+	// Reason is a one-line human explanation.
+	Reason string
+	// Evidence pinpoints the offending rule, update, or state.
+	Evidence string
+	// Violations are the property violations of the counterexample state,
+	// when the rejection is property-driven.
+	Violations []netprop.Violation
+}
+
+// Error implements error.
+func (r *Rejection) Error() string {
+	msg := fmt.Sprintf("synthesis rejected (%s): %s", r.Stage, r.Reason)
+	if r.Evidence != "" {
+		msg += " [" + r.Evidence + "]"
+	}
+	if len(r.Violations) > 0 {
+		msg += fmt.Sprintf(" (%d violations, first: %s)", len(r.Violations), r.Violations[0])
+	}
+	return msg
+}
+
+// Counterexample renders the rejection's counterexample for reports.
+func (r *Rejection) Counterexample() string {
+	if len(r.Violations) > 0 {
+		return r.Violations[0].String()
+	}
+	return r.Evidence
+}
+
+// validate rejects scenarios the engine cannot reason about: rules with
+// zero cookies (deletes would be ambiguous), duplicate (priority, match)
+// slots within one config, equal-priority rules with overlapping matches
+// on one switch (lookup would depend on insertion order), and endpoint
+// configurations that already violate the properties.
+func validate(s *Scenario) *Rejection {
+	if s.Graph == nil {
+		return &Rejection{Stage: "validate", Reason: "scenario has no topology graph", Evidence: "Graph == nil"}
+	}
+	for _, side := range []struct {
+		name  string
+		rules map[string][]openflow.Rule
+	}{{"old", s.Old}, {"new", s.New}} {
+		for sw, rules := range side.rules {
+			slots := make(map[ruleKey]bool, len(rules))
+			for _, r := range rules {
+				if r.Cookie == 0 {
+					return &Rejection{Stage: "validate",
+						Reason:   "rule without a cookie: deletes would be ambiguous",
+						Evidence: fmt.Sprintf("%s config, switch %s, rule %v", side.name, sw, r)}
+				}
+				k := ruleKey{r.Priority, r.Match}
+				if slots[k] {
+					return &Rejection{Stage: "validate",
+						Reason:   "duplicate (priority, match) slot in one config",
+						Evidence: fmt.Sprintf("%s config, switch %s, slot prio=%d match=%v", side.name, sw, r.Priority, r.Match)}
+				}
+				slots[k] = true
+			}
+			for i := range rules {
+				for j := i + 1; j < len(rules); j++ {
+					a, b := rules[i], rules[j]
+					if a.Priority == b.Priority && matchesOverlap(a.Match, b.Match) {
+						return &Rejection{Stage: "validate",
+							Reason:   "equal-priority overlapping rules: lookup would depend on insertion order",
+							Evidence: fmt.Sprintf("%s config, switch %s, rules %v and %v", side.name, sw, a, b)}
+					}
+				}
+			}
+		}
+	}
+	for _, side := range []struct {
+		name   string
+		tables map[string]*openflow.FlowTable
+	}{{"old", s.TablesOld()}, {"new", s.TablesNew()}} {
+		if v := netprop.Check(side.tables, s.Hosts, s.Props); len(v) > 0 {
+			return &Rejection{Stage: "validate",
+				Reason:     fmt.Sprintf("%s configuration violates the property set", side.name),
+				Violations: v}
+		}
+	}
+	return nil
+}
+
+// matchesOverlap reports whether two matches cover a common packet.
+func matchesOverlap(a, b openflow.Match) bool {
+	srcOK := a.Src == openflow.Wildcard || b.Src == openflow.Wildcard || a.Src == b.Src
+	dstOK := a.Dst == openflow.Wildcard || b.Dst == openflow.Wildcard || a.Dst == b.Dst
+	return srcOK && dstOK
+}
+
+// probeOf returns the concrete (src, dst) probe pair used to walk a rule's
+// flow, mirroring the walker's wildcard handling.
+func probeOf(r openflow.Rule) (string, string) {
+	src := r.Match.Src
+	if src == openflow.Wildcard {
+		src = netprop.ProbeSrc
+	}
+	return src, r.Match.Dst
+}

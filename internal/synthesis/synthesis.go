@@ -1,0 +1,361 @@
+package synthesis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cicero/internal/netprop"
+	"cicero/internal/openflow"
+	"cicero/internal/scheduler"
+)
+
+// Plan is a dependency-ordered, verified update plan. Updates holds one
+// scheduler update per table change; Deps is positional — Deps[i] lists
+// the indices Updates[i] must wait for (within-class chains; ops in
+// different classes carry no mutual edges and may run concurrently).
+type Plan struct {
+	// Name is the scenario name the plan was synthesized for.
+	Name    string
+	Updates []scheduler.Update
+	Deps    [][]int
+	Classes []ClassPlan
+}
+
+// ClassPlan describes one packet class's slice of the plan.
+type ClassPlan struct {
+	// Flows lists the class's concrete probe flows ("src->dst"), sorted.
+	Flows []string
+	// Indices are the class's positions in Plan.Updates, ascending. The
+	// dependency chain runs through them in order.
+	Indices []int
+	// TwoPhase marks a class that needed the break-before-make fallback.
+	TwoPhase bool
+	// Barrier is the offset in Indices where the install phase starts
+	// (two-phase only; -1 for single-phase classes). Every index before it
+	// is a teardown delete.
+	Barrier int
+	// FallbackReason carries the counterexample that ruled out a
+	// single-phase order ("" for single-phase classes).
+	FallbackReason string
+}
+
+// Summary renders the plan's shape for reports.
+func (p *Plan) Summary() string {
+	two := 0
+	for _, c := range p.Classes {
+		if c.TwoPhase {
+			two++
+		}
+	}
+	return fmt.Sprintf("%d updates in %d classes (%d two-phase)", len(p.Updates), len(p.Classes), two)
+}
+
+// Mods returns the plan's flow mods in update order.
+func (p *Plan) Mods() []openflow.FlowMod {
+	out := make([]openflow.FlowMod, len(p.Updates))
+	for i, u := range p.Updates {
+		out[i] = u.Mod
+	}
+	return out
+}
+
+// Synthesize computes a verified update plan carrying the scenario's old
+// configuration into its new one. Per packet class it searches for a
+// single-phase order whose every intermediate state satisfies the
+// property set; when none exists it falls back to a two-phase
+// break-before-make schedule (teardown the class's old rules — plus the
+// closure of unchanged rules whose walks depend on them — then install
+// the new side). The returned plan is certified with per-node local
+// verification over every reachable per-class state; any rejection is a
+// *Rejection carrying a counterexample.
+func Synthesize(scn *Scenario) (*Plan, error) {
+	if rej := validate(scn); rej != nil {
+		return nil, rej
+	}
+	ops, rej := diffOps(scn)
+	if rej != nil {
+		return nil, rej
+	}
+
+	oldTables := scn.TablesOld()
+	certsOld, vOld := netprop.Certify(oldTables, scn.Hosts, scn.Props)
+	certsNew, vNew := netprop.Certify(scn.TablesNew(), scn.Hosts, scn.Props)
+	if len(vOld) > 0 || len(vNew) > 0 {
+		// validate() already walked both configs; certification failing
+		// here would mean the walkers and the certifier disagree.
+		return nil, &Rejection{Stage: "validate", Reason: "endpoint configuration is not certifiable",
+			Violations: append(vOld, vNew...)}
+	}
+
+	plan := &Plan{Name: scn.Name}
+	for _, class := range interactionClasses(ops) {
+		cp, classOps, rej := planClass(scn, oldTables, certsOld, certsNew, ops, class)
+		if rej != nil {
+			return nil, rej
+		}
+		base := len(plan.Updates)
+		for i, o := range classOps {
+			plan.Updates = append(plan.Updates, scheduler.Update{
+				ID:  openflow.MsgID{Origin: scn.Name, Seq: uint64(base + i)},
+				Mod: o.Mod,
+			})
+			if i == 0 {
+				plan.Deps = append(plan.Deps, nil)
+			} else {
+				plan.Deps = append(plan.Deps, []int{base + i - 1})
+			}
+			cp.Indices = append(cp.Indices, base+i)
+		}
+		plan.Classes = append(plan.Classes, cp)
+	}
+
+	if err := VerifyPlan(scn, plan); err != nil {
+		return nil, &Rejection{Stage: "certify",
+			Reason:   "synthesized plan failed local verification",
+			Evidence: err.Error(), Violations: verifyViolations(err)}
+	}
+	return plan, nil
+}
+
+// planClass orders one packet class: single-phase if possible, otherwise
+// two-phase with teardown closure. It returns the class metadata (Indices
+// unfilled) and the class's ops in committed order.
+func planClass(scn *Scenario, oldTables map[string]*openflow.FlowTable,
+	certsOld, certsNew *netprop.Certificates, ops []op, class []int) (ClassPlan, []op, *Rejection) {
+
+	flows := map[string]bool{}
+	for _, oi := range class {
+		src, dst := ops[oi].probe()
+		flows[src+"->"+dst] = true
+	}
+	cp := ClassPlan{Flows: sortedKeys(flows), Barrier: -1}
+
+	// Single-phase attempt: greedy verified order over the diff ops,
+	// trying installs egress-first (ascending new-config distance) and
+	// removals ingress-first (descending old-config distance).
+	cands := make([]op, len(class))
+	for i, oi := range class {
+		cands[i] = ops[oi]
+	}
+	sortOps(cands, certsOld, certsNew)
+	order, cex := greedyOrder(scn, cloneTables(oldTables), cands, "order")
+	if cex == nil {
+		return cp, order, nil
+	}
+
+	// Two-phase fallback: break before make.
+	cp.TwoPhase = true
+	cp.FallbackReason = cex.Counterexample()
+	teardown, install, rej := twoPhaseOps(scn, oldTables, cands)
+	if rej != nil {
+		return cp, nil, rej
+	}
+	sortOps(teardown, certsOld, certsNew)
+	sortOps(install, certsOld, certsNew)
+	downOrder, cex := greedyOrder(scn, cloneTables(oldTables), teardown, "teardown")
+	if cex != nil {
+		return cp, nil, cex
+	}
+	mid := cloneTables(oldTables)
+	for _, o := range downOrder {
+		mid[o.Mod.Switch].Apply(o.Mod)
+	}
+	upOrder, cex := greedyOrder(scn, mid, install, "install")
+	if cex != nil {
+		return cp, nil, cex
+	}
+	cp.Barrier = len(downOrder)
+	return cp, append(downOrder, upOrder...), nil
+}
+
+// twoPhaseOps splits a class into teardown deletes and install adds. The
+// teardown set is the class's old-side rules plus the closure of
+// unchanged rules whose forwarding walks traverse a torn rule — leaving
+// those installed would blackhole them mid-teardown. Closure members are
+// deleted and then re-installed unchanged.
+func twoPhaseOps(scn *Scenario, oldTables map[string]*openflow.FlowTable, class []op) (teardown, install []op, rej *Rejection) {
+	torn := map[slot]bool{}
+	classOld := map[slot]bool{}
+	for _, o := range class {
+		if o.Old != nil {
+			s := slot{o.Mod.Switch, *o.Old}
+			torn[s] = true
+			classOld[s] = true
+		}
+		if o.Mod.Op == openflow.FlowAdd {
+			install = append(install, op{Mod: o.Mod})
+		}
+	}
+
+	// Closure fixpoint: any still-installed rule whose walk looks up a
+	// torn rule joins the teardown set.
+	switches := scn.Switches()
+	for changed := true; changed; {
+		changed = false
+		for _, sw := range switches {
+			for _, r := range oldTables[sw].Rules() {
+				s := slot{sw, r}
+				if torn[s] || r.Action.Type != openflow.ActionOutput || r.Match.Dst == openflow.Wildcard {
+					continue
+				}
+				if walkUses(oldTables, scn.Hosts, sw, r, torn) {
+					torn[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Materialize: deletes for every torn slot, re-adds for closure
+	// members the class itself does not reinstall.
+	slots := make([]slot, 0, len(torn))
+	for s := range torn {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		if slots[a].sw != slots[b].sw {
+			return slots[a].sw < slots[b].sw
+		}
+		return fmt.Sprint(slots[a].rule) < fmt.Sprint(slots[b].rule)
+	})
+	for _, s := range slots {
+		if rej := exactDelete(scn, s.sw, s.rule); rej != nil {
+			return nil, nil, rej
+		}
+		old := s.rule
+		teardown = append(teardown, op{Mod: openflow.FlowMod{Op: openflow.FlowDelete, Switch: s.sw, Rule: s.rule}, Old: &old})
+		if !classOld[s] {
+			install = append(install, op{Mod: openflow.FlowMod{Op: openflow.FlowAdd, Switch: s.sw, Rule: s.rule}})
+		}
+	}
+	return teardown, install, nil
+}
+
+// slot pins one installed rule to its switch.
+type slot struct {
+	sw   string
+	rule openflow.Rule
+}
+
+// walkUses reports whether the forwarding walk of rule r (from its own
+// switch) resolves any lookup to a rule in the torn set.
+func walkUses(tables map[string]*openflow.FlowTable, hosts map[string]bool, sw string, r openflow.Rule, torn map[slot]bool) bool {
+	src, dst := probeOf(r)
+	tr := netprop.TracePath(tables, hosts, sw, src, dst)
+	for _, cur := range tr.Visited {
+		t := tables[cur]
+		if t == nil {
+			break
+		}
+		used, ok := t.Lookup(src, dst)
+		if !ok {
+			break
+		}
+		if torn[slot{cur, used}] {
+			return true
+		}
+	}
+	return false
+}
+
+// greedyOrder commits candidate ops one at a time onto scratch, always
+// picking the first candidate (in the given heuristic order) whose
+// application leaves the full property set satisfied. When no candidate
+// applies cleanly the search is stuck and the first candidate's violation
+// set is the counterexample.
+func greedyOrder(scn *Scenario, scratch map[string]*openflow.FlowTable, cands []op, stage string) ([]op, *Rejection) {
+	remaining := append([]op(nil), cands...)
+	var order []op
+	for len(remaining) > 0 {
+		committed := -1
+		var firstViol []netprop.Violation
+		firstOp := ""
+		for i, o := range remaining {
+			snapshot := scratch[o.Mod.Switch].Rules()
+			scratch[o.Mod.Switch].Apply(o.Mod)
+			v := netprop.Check(scratch, scn.Hosts, scn.Props)
+			if len(v) == 0 {
+				committed = i
+				break
+			}
+			restoreTable(scratch, o.Mod.Switch, snapshot)
+			if firstViol == nil {
+				firstViol, firstOp = v, o.String()
+			}
+		}
+		if committed < 0 {
+			return nil, &Rejection{Stage: stage,
+				Reason:     fmt.Sprintf("no safe next update after %d of %d committed", len(order), len(cands)),
+				Evidence:   fmt.Sprintf("first stuck candidate: %s", firstOp),
+				Violations: firstViol}
+		}
+		order = append(order, remaining[committed])
+		remaining = append(remaining[:committed], remaining[committed+1:]...)
+	}
+	return order, nil
+}
+
+// restoreTable rebuilds one switch's table from a rule snapshot.
+func restoreTable(tables map[string]*openflow.FlowTable, sw string, rules []openflow.Rule) {
+	t := openflow.NewFlowTable()
+	for _, r := range rules {
+		t.Add(r)
+	}
+	tables[sw] = t
+}
+
+// sortOps orders candidates for the greedy search: adds egress-first
+// (ascending distance-to-delivery in the new configuration), then deletes
+// ingress-first (descending distance in the old configuration). This is
+// the reverse-path intuition — grow the new path from its tail, shrink
+// the old path from its head — and makes the greedy search succeed on the
+// first try for reroute-style diffs.
+func sortOps(cands []op, certsOld, certsNew *netprop.Certificates) {
+	key := func(o op) (int, int) {
+		src, dst := o.probe()
+		if o.Mod.Op == openflow.FlowAdd {
+			return 0, distOf(certsNew, src, dst, o.Mod.Switch)
+		}
+		return 1, -distOf(certsOld, src, dst, o.Mod.Switch)
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ka, da := key(cands[a])
+		kb, db := key(cands[b])
+		if ka != kb {
+			return ka < kb
+		}
+		if da != db {
+			return da < db
+		}
+		return cands[a].String() < cands[b].String()
+	})
+}
+
+// distOf returns the certified distance-to-delivery of (src, dst) at sw,
+// or 0 when the flow is not certified there (drop rules, absent flows).
+func distOf(certs *netprop.Certificates, src, dst, sw string) int {
+	if c := certs.Cert(src, dst, sw); c != nil {
+		return c.Dist
+	}
+	return 0
+}
+
+// sortedKeys returns a map's keys, sorted.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the class for reports.
+func (c ClassPlan) String() string {
+	mode := "single-phase"
+	if c.TwoPhase {
+		mode = "two-phase"
+	}
+	return fmt.Sprintf("class{%s} %d updates %s", strings.Join(c.Flows, ","), len(c.Indices), mode)
+}

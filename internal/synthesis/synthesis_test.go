@@ -1,0 +1,347 @@
+package synthesis
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"cicero/internal/netprop"
+	"cicero/internal/openflow"
+	"cicero/internal/topology"
+)
+
+// rule is a test shorthand.
+func rule(prio int, src, dst, next string, cookie uint64) openflow.Rule {
+	return openflow.Rule{Priority: prio, Match: openflow.Match{Src: src, Dst: dst},
+		Action: openflow.Action{Type: openflow.ActionOutput, NextHop: next}, Cookie: cookie}
+}
+
+// lineGraph builds s0-s1-...-s{n-1} with host h0 on s0 and h1 on s{n-1},
+// plus any extra switch-switch links.
+func lineGraph(n int, extra ...[2]string) *topology.Graph {
+	g := topology.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(topology.Node{ID: fmt.Sprintf("s%d", i), Kind: topology.KindEdge})
+	}
+	for i := 0; i+1 < n; i++ {
+		_ = g.AddLink(fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1), 100*time.Microsecond, 10)
+	}
+	g.AddNode(topology.Node{ID: "h0", Kind: topology.KindHost})
+	g.AddNode(topology.Node{ID: "h1", Kind: topology.KindHost})
+	_ = g.AddLink("h0", "s0", 100*time.Microsecond, 10)
+	_ = g.AddLink("h1", fmt.Sprintf("s%d", n-1), 100*time.Microsecond, 10)
+	for _, e := range extra {
+		_ = g.AddLink(e[0], e[1], 100*time.Microsecond, 10)
+	}
+	return g
+}
+
+// rerouteScenario moves flow *->h1 from s0-s1-s2 onto s0-s3-s2: one add
+// (s3), one replace (s0), one delete (s1), egress unchanged. A
+// single-phase order exists (install s3, swap s0, remove s1).
+func rerouteScenario() *Scenario {
+	g := lineGraph(3, [2]string{"s0", "s3"}, [2]string{"s3", "s2"})
+	g.AddNode(topology.Node{ID: "s3", Kind: topology.KindEdge})
+	return &Scenario{
+		Name:  "reroute",
+		Graph: g,
+		Hosts: map[string]bool{"h0": true, "h1": true},
+		Old: map[string][]openflow.Rule{
+			"s0": {rule(10, "*", "h1", "s1", 1)},
+			"s1": {rule(10, "*", "h1", "s2", 2)},
+			"s2": {rule(10, "*", "h1", "h1", 3)},
+		},
+		New: map[string][]openflow.Rule{
+			"s0": {rule(10, "*", "h1", "s3", 4)},
+			"s3": {rule(10, "*", "h1", "s2", 5)},
+			"s2": {rule(10, "*", "h1", "h1", 3)},
+		},
+	}
+}
+
+// swapGadget is the known-impossible single-phase transition: relays a
+// and b swap places across waypoint w (old i-a-w-b-e, new i-b-w-a-e, the
+// egress rule unchanged, policy "via w from i"). Every possible first
+// move violates a property — updating i or a bypasses w, updating w or b
+// loops — so synthesis must take the two-phase fallback.
+func swapGadget() *Scenario {
+	g := topology.NewGraph()
+	for _, id := range []string{"i", "a", "w", "b", "e"} {
+		g.AddNode(topology.Node{ID: id, Kind: topology.KindEdge})
+	}
+	for _, l := range [][2]string{{"i", "a"}, {"a", "w"}, {"w", "b"}, {"b", "e"}, {"i", "b"}, {"a", "e"}} {
+		_ = g.AddLink(l[0], l[1], 100*time.Microsecond, 10)
+	}
+	g.AddNode(topology.Node{ID: "h", Kind: topology.KindHost})
+	_ = g.AddLink("h", "e", 100*time.Microsecond, 10)
+	return &Scenario{
+		Name:  "swap-gadget",
+		Graph: g,
+		Hosts: map[string]bool{"h": true},
+		Old: map[string][]openflow.Rule{
+			"i": {rule(10, "*", "h", "a", 1)},
+			"a": {rule(10, "*", "h", "w", 2)},
+			"w": {rule(10, "*", "h", "b", 3)},
+			"b": {rule(10, "*", "h", "e", 4)},
+			"e": {rule(10, "*", "h", "h", 5)},
+		},
+		New: map[string][]openflow.Rule{
+			"i": {rule(10, "*", "h", "b", 6)},
+			"b": {rule(10, "*", "h", "w", 7)},
+			"w": {rule(10, "*", "h", "a", 8)},
+			"a": {rule(10, "*", "h", "e", 9)},
+			"e": {rule(10, "*", "h", "h", 5)},
+		},
+		Props: netprop.Properties{Waypoints: []netprop.WaypointPolicy{
+			{Src: "*", Dst: "h", Ingress: "i", Waypoints: []string{"w"}},
+		}},
+	}
+}
+
+// freshInstall programs a previously empty path; teardownAll removes it.
+func freshInstall() *Scenario {
+	s := &Scenario{
+		Name:  "fresh-install",
+		Graph: lineGraph(3),
+		Hosts: map[string]bool{"h0": true, "h1": true},
+		Old:   map[string][]openflow.Rule{},
+		New: map[string][]openflow.Rule{
+			"s0": {rule(10, "*", "h1", "s1", 1)},
+			"s1": {rule(10, "*", "h1", "s2", 2)},
+			"s2": {rule(10, "*", "h1", "h1", 3)},
+		},
+	}
+	return s
+}
+
+func teardownAll() *Scenario {
+	s := freshInstall()
+	s.Name = "teardown-all"
+	s.Old, s.New = s.New, s.Old
+	return s
+}
+
+func TestSynthesizeTableDriven(t *testing.T) {
+	cases := []struct {
+		name     string
+		scn      func() *Scenario
+		updates  int
+		twoPhase bool
+	}{
+		{"fresh-install", freshInstall, 3, false},
+		{"teardown-all", teardownAll, 3, false},
+		{"reroute", rerouteScenario, 3, false},
+		{"swap-gadget", swapGadget, 8, true}, // 4 replaces split into 4 deletes + 4 adds
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scn := tc.scn()
+			plan, err := Synthesize(scn)
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			if len(plan.Updates) != tc.updates {
+				t.Fatalf("got %d updates, want %d (%s)", len(plan.Updates), tc.updates, plan.Summary())
+			}
+			if len(plan.Classes) != 1 {
+				t.Fatalf("got %d classes, want 1", len(plan.Classes))
+			}
+			cp := plan.Classes[0]
+			if cp.TwoPhase != tc.twoPhase {
+				t.Fatalf("TwoPhase=%v, want %v (fallback reason %q)", cp.TwoPhase, tc.twoPhase, cp.FallbackReason)
+			}
+			if tc.twoPhase {
+				if cp.Barrier <= 0 || cp.Barrier >= len(cp.Indices) {
+					t.Fatalf("two-phase class has degenerate barrier %d", cp.Barrier)
+				}
+				if cp.FallbackReason == "" {
+					t.Fatal("two-phase class carries no counterexample")
+				}
+				for k, i := range cp.Indices {
+					isDelete := plan.Updates[i].Mod.Op == openflow.FlowDelete
+					if (k < cp.Barrier) != isDelete {
+						t.Fatalf("index %d (pos %d, barrier %d): teardown/install phases interleave", i, k, cp.Barrier)
+					}
+				}
+			}
+			if err := VerifyPlan(scn, plan); err != nil {
+				t.Fatalf("VerifyPlan: %v", err)
+			}
+		})
+	}
+}
+
+func TestRerouteCommitsReversePathOrder(t *testing.T) {
+	plan, err := Synthesize(rerouteScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, u := range plan.Updates {
+		order = append(order, fmt.Sprintf("%s:%s", map[openflow.FlowModOp]string{
+			openflow.FlowAdd: "add", openflow.FlowDelete: "del"}[u.Mod.Op], u.Mod.Switch))
+	}
+	got := strings.Join(order, " ")
+	if got != "add:s3 add:s0 del:s1" {
+		t.Fatalf("committed order %q, want the reverse-path order \"add:s3 add:s0 del:s1\"", got)
+	}
+}
+
+func TestRejectionsCarryCounterexamples(t *testing.T) {
+	t.Run("dirty-old-config", func(t *testing.T) {
+		scn := rerouteScenario()
+		scn.Old["s1"] = nil // s0 now forwards into a ruleless switch
+		_, err := Synthesize(scn)
+		rej, ok := err.(*Rejection)
+		if !ok {
+			t.Fatalf("want *Rejection, got %v", err)
+		}
+		if rej.Stage != "validate" || len(rej.Violations) == 0 {
+			t.Fatalf("want validate rejection with violations, got %v", rej)
+		}
+	})
+	t.Run("ambiguous-delete", func(t *testing.T) {
+		g := lineGraph(1)
+		scn := &Scenario{
+			Name: "ambiguous", Graph: g,
+			Hosts: map[string]bool{"h0": true, "h1": true},
+			Old: map[string][]openflow.Rule{
+				"s0": {rule(20, "h0", "h1", "h1", 5), rule(10, "*", "h1", "h1", 5)},
+			},
+			New: map[string][]openflow.Rule{
+				"s0": {rule(20, "h0", "h1", "h1", 5)},
+			},
+		}
+		_, err := Synthesize(scn)
+		rej, ok := err.(*Rejection)
+		if !ok {
+			t.Fatalf("want *Rejection, got %v", err)
+		}
+		if rej.Stage != "diff" || rej.Counterexample() == "" {
+			t.Fatalf("want diff rejection with evidence, got %v", rej)
+		}
+	})
+	t.Run("zero-cookie", func(t *testing.T) {
+		scn := rerouteScenario()
+		scn.Old["s0"] = []openflow.Rule{rule(10, "*", "h1", "s1", 0)}
+		_, err := Synthesize(scn)
+		rej, ok := err.(*Rejection)
+		if !ok || rej.Counterexample() == "" {
+			t.Fatalf("want *Rejection with counterexample, got %v", err)
+		}
+	})
+}
+
+func TestPlantBadOrderingCaught(t *testing.T) {
+	for _, mk := range []func() *Scenario{rerouteScenario, swapGadget} {
+		scn := mk()
+		plan, err := Synthesize(scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutant, edge, ok := PlantBadOrdering(scn, plan, 1)
+		if !ok {
+			t.Fatalf("%s: no load-bearing dependency edge found", scn.Name)
+		}
+		err = VerifyPlan(scn, mutant)
+		if err == nil {
+			t.Fatalf("%s: dropped edge %s but local verification still passes", scn.Name, edge)
+		}
+		if ve, isVE := err.(*VerifyError); isVE && len(ve.Violations) == 0 && ve.Detail == "" {
+			t.Fatalf("%s: verify error carries no explanation", scn.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndVerified(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		scnA, planA, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		scnB, planB, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d (second run): %v", seed, err)
+		}
+		if scnA.Name != scnB.Name || fmt.Sprint(planA.Updates) != fmt.Sprint(planB.Updates) {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+		if err := VerifyPlan(scnA, planA); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, _, ok := PlantBadOrdering(scnA, planA, seed); !ok {
+			t.Fatalf("seed %d: canary not plantable", seed)
+		}
+	}
+}
+
+func TestGenerateCoversTwoPhase(t *testing.T) {
+	two := 0
+	for seed := int64(1); seed <= 40 && two == 0; seed++ {
+		_, plan, err := Generate(seed)
+		if err != nil {
+			continue
+		}
+		for _, c := range plan.Classes {
+			if c.TwoPhase {
+				two++
+			}
+		}
+	}
+	if two == 0 {
+		t.Fatal("no two-phase class in 40 generated seeds; the swap-gadget mixin is not firing")
+	}
+}
+
+// FuzzSynthesize asserts the synthesis contract on seeded random
+// scenarios (sometimes corrupted to exercise rejection): every emitted
+// plan passes local verification, and every rejection carries a
+// counterexample.
+func FuzzSynthesize(f *testing.F) {
+	for seed := int64(0); seed < 25; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		scn, ok := generateOnce(seed)
+		if !ok {
+			return
+		}
+		if seed%3 == 0 {
+			corrupt(scn, seed)
+		}
+		plan, err := Synthesize(scn)
+		if err != nil {
+			rej, isRej := err.(*Rejection)
+			if !isRej {
+				t.Fatalf("seed %d: non-Rejection error %v", seed, err)
+			}
+			if rej.Counterexample() == "" {
+				t.Fatalf("seed %d: rejection without counterexample: %v", seed, rej)
+			}
+			return
+		}
+		if err := VerifyPlan(scn, plan); err != nil {
+			t.Fatalf("seed %d: emitted plan fails local verification: %v", seed, err)
+		}
+	})
+}
+
+// corrupt knocks one rule out of the old configuration, which may leave
+// it property-violating (forcing a validate rejection) or still clean.
+func corrupt(scn *Scenario, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var sws []string
+	for _, sw := range scn.Switches() {
+		if len(scn.Old[sw]) > 0 {
+			sws = append(sws, sw)
+		}
+	}
+	if len(sws) == 0 {
+		return
+	}
+	sw := sws[rng.Intn(len(sws))]
+	i := rng.Intn(len(scn.Old[sw]))
+	scn.Old[sw] = append(scn.Old[sw][:i], scn.Old[sw][i+1:]...)
+}

@@ -1,0 +1,283 @@
+package synthesis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cicero/internal/netprop"
+	"cicero/internal/openflow"
+)
+
+// stateCap bounds the number of reachable per-class states VerifyPlan
+// enumerates. Within-class dependencies are chains, so enumeration is
+// linear for synthesized plans; the cap only bites for adversarially
+// mutated plans (dropped edges widen the reachable-state lattice).
+const stateCap = 4096
+
+// VerifyError reports a plan that failed verification: a structural
+// defect, a final state that is not the new configuration, or a reachable
+// intermediate state violating the property set.
+type VerifyError struct {
+	// Class is the offending class index, or -1 for structural/final
+	// defects.
+	Class int
+	// State lists the applied update indices of the violating state.
+	State []int
+	// Detail explains structural/final defects.
+	Detail string
+	// Violations are the property violations of the offending state.
+	Violations []netprop.Violation
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	if e.Detail != "" && len(e.Violations) == 0 {
+		return "plan verification failed: " + e.Detail
+	}
+	return fmt.Sprintf("plan verification failed: class %d state %v has %d violations (first: %s)",
+		e.Class, e.State, len(e.Violations), e.Violations[0])
+}
+
+// verifyViolations extracts the violation set from a VerifyPlan error.
+func verifyViolations(err error) []netprop.Violation {
+	if ve, ok := err.(*VerifyError); ok {
+		return ve.Violations
+	}
+	return nil
+}
+
+// VerifyPlan certifies a plan against its scenario with per-node local
+// verification: the dependency graph must be well-formed and acyclic, the
+// fully applied plan must yield exactly the new configuration, and every
+// reachable per-class intermediate state — every downward-closed subset
+// of the class's dependency sub-DAG, other classes held at the old
+// configuration — must admit clean local certificates
+// (netprop.LocalVerify). Class independence makes the per-class
+// enumeration sound: no lookup for one class's probes ever resolves to
+// another class's rules, so a global interleaving is clean iff its
+// per-class projections are.
+func VerifyPlan(scn *Scenario, plan *Plan) error {
+	n := len(plan.Updates)
+	if len(plan.Deps) != n {
+		return &VerifyError{Class: -1, Detail: fmt.Sprintf("deps length %d != updates length %d", len(plan.Deps), n)}
+	}
+	indegree := make([]int, n)
+	for i, deps := range plan.Deps {
+		for _, d := range deps {
+			if d < 0 || d >= n || d == i {
+				return &VerifyError{Class: -1, Detail: fmt.Sprintf("update %d has out-of-range dependency %d", i, d)}
+			}
+			indegree[i]++
+		}
+	}
+	// Kahn's algorithm: every update must be schedulable.
+	adj := make([][]int, n)
+	for i, deps := range plan.Deps {
+		for _, d := range deps {
+			adj[d] = append(adj[d], i)
+		}
+	}
+	queue := []int{}
+	for i, d := range indegree {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		done++
+		for _, y := range adj[x] {
+			indegree[y]--
+			if indegree[y] == 0 {
+				queue = append(queue, y)
+			}
+		}
+	}
+	if done != n {
+		return &VerifyError{Class: -1, Detail: "dependency graph has a cycle"}
+	}
+
+	// Every update must belong to exactly one class.
+	owned := make([]int, n)
+	for i := range owned {
+		owned[i] = -1
+	}
+	for ci, cp := range plan.Classes {
+		for _, i := range cp.Indices {
+			if i < 0 || i >= n || owned[i] != -1 {
+				return &VerifyError{Class: ci, Detail: fmt.Sprintf("update %d missing or claimed twice in class metadata", i)}
+			}
+			owned[i] = ci
+		}
+	}
+	for i, c := range owned {
+		if c == -1 {
+			return &VerifyError{Class: -1, Detail: fmt.Sprintf("update %d belongs to no class", i)}
+		}
+	}
+
+	// Final state: the plan must land exactly on the new configuration.
+	final := scn.TablesOld()
+	for _, u := range plan.Updates {
+		t := final[u.Mod.Switch]
+		if t == nil {
+			return &VerifyError{Class: -1, Detail: fmt.Sprintf("update %s targets unknown switch %s", u.ID, u.Mod.Switch)}
+		}
+		t.Apply(u.Mod)
+	}
+	want := scn.TablesNew()
+	for _, sw := range scn.Switches() {
+		if !sameRules(final[sw].Rules(), want[sw].Rules()) {
+			return &VerifyError{Class: -1,
+				Detail: fmt.Sprintf("final state of switch %s differs from the new configuration:\ngot  %v\nwant %v",
+					sw, final[sw].Rules(), want[sw].Rules())}
+		}
+	}
+
+	// Per-class reachable states.
+	oldTables := scn.TablesOld()
+	for ci, cp := range plan.Classes {
+		if err := verifyClassStates(scn, oldTables, plan, ci, cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyClassStates locally verifies every downward-closed subset of one
+// class's dependency sub-DAG (capped at stateCap states).
+func verifyClassStates(scn *Scenario, oldTables map[string]*openflow.FlowTable, plan *Plan, ci int, cp ClassPlan) error {
+	idx := cp.Indices
+	pos := make(map[int]int, len(idx)) // plan index -> local position
+	for li, i := range idx {
+		pos[i] = li
+	}
+	// Local dependency lists, restricted to the class.
+	deps := make([][]int, len(idx))
+	for li, i := range idx {
+		for _, d := range plan.Deps[i] {
+			if ld, ok := pos[d]; ok {
+				deps[li] = append(deps[li], ld)
+			}
+		}
+	}
+	subsetKey := func(s []bool) string {
+		b := make([]byte, len(s))
+		for i, v := range s {
+			if v {
+				b[i] = '1'
+			} else {
+				b[i] = '0'
+			}
+		}
+		return string(b)
+	}
+	seen := map[string]bool{}
+	frontier := [][]bool{make([]bool, len(idx))}
+	seen[subsetKey(frontier[0])] = true
+	for len(frontier) > 0 && len(seen) <= stateCap {
+		s := frontier[0]
+		frontier = frontier[1:]
+		// Check this state.
+		tables := cloneTables(oldTables)
+		var applied []int
+		for li, in := range s {
+			if !in {
+				continue
+			}
+			u := plan.Updates[idx[li]]
+			tables[u.Mod.Switch].Apply(u.Mod)
+			applied = append(applied, idx[li])
+		}
+		if v := netprop.LocalVerify(tables, scn.Hosts, scn.Props); len(v) > 0 {
+			return &VerifyError{Class: ci, State: applied, Violations: v}
+		}
+		// Expand: any unapplied op whose deps are all in.
+		for li := range idx {
+			if s[li] {
+				continue
+			}
+			ok := true
+			for _, d := range deps[li] {
+				if !s[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			next := append([]bool(nil), s...)
+			next[li] = true
+			k := subsetKey(next)
+			if !seen[k] {
+				seen[k] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	return nil
+}
+
+// sameRules compares two rule sets ignoring order.
+func sameRules(a, b []openflow.Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]openflow.Rule(nil), a...)
+	bs := append([]openflow.Rule(nil), b...)
+	less := func(s []openflow.Rule) func(i, j int) bool {
+		return func(i, j int) bool { return fmt.Sprint(s[i]) < fmt.Sprint(s[j]) }
+	}
+	sort.Slice(as, less(as))
+	sort.Slice(bs, less(bs))
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BadEdge identifies one dropped dependency: To's wait on From.
+type BadEdge struct {
+	From, To int
+}
+
+// String renders the edge.
+func (e BadEdge) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }
+
+// PlantBadOrdering builds the bad-ordering canary: it drops one
+// load-bearing dependency edge from the plan — chosen in seeded random
+// order — and returns the mutated plan, which local verification must
+// reject (the newly reachable state violates a property). ok=false means
+// the plan has no load-bearing edge to drop (every dependency is slack).
+func PlantBadOrdering(scn *Scenario, plan *Plan, seed int64) (*Plan, BadEdge, bool) {
+	var edges []BadEdge
+	for to, deps := range plan.Deps {
+		for _, from := range deps {
+			edges = append(edges, BadEdge{from, to})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		mutant := &Plan{Name: plan.Name, Updates: plan.Updates, Classes: plan.Classes}
+		mutant.Deps = make([][]int, len(plan.Deps))
+		for i, deps := range plan.Deps {
+			for _, d := range deps {
+				if i == e.To && d == e.From {
+					continue
+				}
+				mutant.Deps[i] = append(mutant.Deps[i], d)
+			}
+		}
+		if VerifyPlan(scn, mutant) != nil {
+			return mutant, e, true
+		}
+	}
+	return nil, BadEdge{}, false
+}
