@@ -1,0 +1,74 @@
+// Command cicero-node boots a single Cicero node — one controller or one
+// switch — as its own OS process, from a signed provisioning bundle and a
+// static address map. The supervisor (internal/distrib, or any external
+// process manager) launches one cicero-node per planned node; together
+// they form a true distributed deployment of the livenet TCP backend.
+//
+// Usage:
+//
+//	cicero-node -bundle bundle-dom0_ctl_1.json -addrs addrs.json \
+//	    -deploy-pub <hex ed25519 key> [-trace trace.jsonl] \
+//	    [-boot-epoch N] [-crash-recovery] [-resync]
+//
+// The bundle's signature must verify against -deploy-pub before any key
+// material in it is used. -boot-epoch, -crash-recovery and -resync are
+// volatile restart parameters (they change on every reboot, so they ride
+// the command line, not the signed bundle): a restarted controller passes
+// -crash-recovery to boot mute and run peer state transfer; a restarted
+// switch passes a bumped -boot-epoch (fresh event-id namespace) and
+// -resync to request a full table transfer.
+//
+// The process serves until SIGTERM/SIGINT, then shuts down cleanly. A
+// SIGKILL is the supervisor's crash injection: no shutdown path runs, and
+// recovery is exercised on the next boot.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cicero/internal/distrib"
+)
+
+func main() {
+	var (
+		bundle    = flag.String("bundle", "", "signed provisioning bundle (required)")
+		addrs     = flag.String("addrs", "", "static address map JSON (required)")
+		deployPub = flag.String("deploy-pub", "", "hex ed25519 deployment public key (required)")
+		trace     = flag.String("trace", "", "structured trace output (JSONL); empty disables")
+		bootEpoch = flag.Uint("boot-epoch", 0, "switch event-id namespace; bump on every restart")
+		crashRec  = flag.Bool("crash-recovery", false, "controller: boot mute and recover state from peers")
+		resync    = flag.Bool("resync", false, "switch: request a full table resync after boot")
+	)
+	flag.Parse()
+	if *bundle == "" || *addrs == "" || *deployPub == "" {
+		fmt.Fprintln(os.Stderr, "cicero-node: -bundle, -addrs and -deploy-pub are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	pub, err := hex.DecodeString(*deployPub)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-node: -deploy-pub: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := distrib.RunNode(ctx, distrib.NodeOptions{
+		BundlePath:    *bundle,
+		AddrsPath:     *addrs,
+		DeployPub:     pub,
+		TracePath:     *trace,
+		BootEpoch:     uint32(*bootEpoch),
+		CrashRecovery: *crashRec,
+		Resync:        *resync,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-node: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package distrib
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cicero/internal/protocol"
+)
+
+// bundleFile is the on-disk form of a signed bundle: the wire-codec
+// frame plus the deployment signature over those exact bytes.
+type bundleFile struct {
+	Frame []byte `json:"frame"`
+	Sig   []byte `json:"sig"`
+}
+
+// WriteBundle encodes, signs and writes one node's provisioning bundle.
+func WriteBundle(path string, codec *protocol.WireCodec, b protocol.NodeBundle, priv ed25519.PrivateKey) error {
+	frame, err := codec.Encode(b)
+	if err != nil {
+		return fmt.Errorf("distrib: encode bundle %s: %w", b.ID, err)
+	}
+	data, err := json.Marshal(bundleFile{Frame: frame, Sig: ed25519.Sign(priv, frame)})
+	if err != nil {
+		return err
+	}
+	// 0600: the bundle holds the node's private key seed.
+	return os.WriteFile(path, data, 0o600)
+}
+
+// LoadBundle reads a bundle file and verifies its signature against the
+// deployment trust anchor before decoding it.
+func LoadBundle(path string, codec *protocol.WireCodec, pub ed25519.PublicKey) (*protocol.NodeBundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f bundleFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("distrib: bundle %s: %w", path, err)
+	}
+	if !ed25519.Verify(pub, f.Frame, f.Sig) {
+		return nil, fmt.Errorf("distrib: bundle %s: signature does not verify against the deployment key", path)
+	}
+	msg, err := codec.Decode(f.Frame)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: bundle %s: %w", path, err)
+	}
+	b, ok := msg.(protocol.NodeBundle)
+	if !ok {
+		return nil, fmt.Errorf("distrib: bundle %s: frame is %T, not a node bundle", path, msg)
+	}
+	return &b, nil
+}

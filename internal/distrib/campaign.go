@@ -1,0 +1,559 @@
+package distrib
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/core"
+	"cicero/internal/netprop"
+	"cicero/internal/openflow"
+	"cicero/internal/protocol"
+	"cicero/internal/topology"
+)
+
+// CampaignOptions configures one multi-process chaos campaign.
+type CampaignOptions struct {
+	// Bin is the cicero-node binary; Dir the working directory for
+	// bundles, address map, logs and traces.
+	Bin string
+	Dir string
+	// Controllers sizes the control plane (default 4).
+	Controllers int
+	// Flows is the workload size (default 8).
+	Flows int
+	// Seed drives workload draw; the simnet reference uses the same draw.
+	Seed int64
+	// KillController SIGKILLs a non-bootstrap controller mid-update and
+	// restarts it through crash recovery; KillSwitch does the same to a
+	// switch (fresh boot epoch + resync).
+	KillController bool
+	KillSwitch     bool
+	// Partition imposes and heals a socket-level two-way partition
+	// between two controllers mid-campaign.
+	Partition bool
+	// Timeout bounds the whole campaign (default 2 minutes).
+	Timeout time.Duration
+}
+
+// CampaignResult is the campaign's verdict.
+type CampaignResult struct {
+	// Violations are invariant failures; empty means the run is clean.
+	Violations []string
+	// Flow completion.
+	FlowsDone, FlowsTotal int
+	// Reference convergence: quiesced multi-process tables vs the
+	// fault-free simnet run of the same workload.
+	TableDigest, RefDigest string
+	TableMatch             bool
+	// ChainDigests maps each controller to its order-sensitive audit
+	// hash-chain digest at convergence (equal only between byte-identical
+	// replicas); DigestAgreement means every controller quiesced on the
+	// same order-insensitive ledger content digest — same decisions on
+	// every process.
+	ChainDigests    map[string]string
+	DigestAgreement bool
+	// Recovered reports the killed controller finished state transfer.
+	Recovered bool
+	// Trace merge across all per-process files.
+	TraceEvents  int
+	CausalErrors []string
+	// ProcsLeaked counts node processes still alive after Close.
+	ProcsLeaked int
+}
+
+func (o CampaignOptions) defaulted() CampaignOptions {
+	if o.Controllers == 0 {
+		o.Controllers = 4
+	}
+	if o.Flows == 0 {
+		o.Flows = 8
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	return o
+}
+
+// SmokeGraph is the campaign's data plane: a line of four switches with
+// one host each. The line keeps shortest paths unique, so the simnet
+// reference digest is deterministic.
+func SmokeGraph() *topology.Graph {
+	g := topology.NewGraph()
+	for i := 1; i <= 4; i++ {
+		sw := fmt.Sprintf("s%d", i)
+		host := fmt.Sprintf("h%d", i)
+		g.AddNode(topology.Node{ID: sw, Kind: topology.KindToR})
+		g.AddNode(topology.Node{ID: host, Kind: topology.KindHost})
+		g.AddLink(sw, host, time.Millisecond, 10)
+		if i > 1 {
+			g.AddLink(fmt.Sprintf("s%d", i-1), sw, time.Millisecond, 10)
+		}
+	}
+	return g
+}
+
+// campaignFlow is one drawn workload entry.
+type campaignFlow struct {
+	id       uint64
+	src, dst string
+	ingress  string
+}
+
+// drawFlows picks host pairs deterministically from the seed; the
+// ingress switch is the source host's attachment point.
+func drawFlows(g *topology.Graph, n int, seed int64) []campaignFlow {
+	var hosts []string
+	attach := make(map[string]string)
+	for _, node := range g.Nodes() {
+		if node.Kind != topology.KindHost {
+			continue
+		}
+		hosts = append(hosts, node.ID)
+		for _, e := range g.Neighbors(node.ID) {
+			attach[node.ID] = e.To
+		}
+	}
+	sort.Strings(hosts)
+	rng := rand.New(rand.NewSource(seed))
+	flows := make([]campaignFlow, 0, n)
+	for i := 0; i < n; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		flows = append(flows, campaignFlow{
+			id: uint64(i + 1), src: src, dst: dst, ingress: attach[src],
+		})
+	}
+	return flows
+}
+
+// campaignReference runs the same workload fault-free on the simulator
+// and returns the canonical table digest the processes must converge to.
+func campaignReference(opt CampaignOptions, g *topology.Graph, flows []campaignFlow) (string, error) {
+	n, err := core.Build(core.Config{
+		Graph:                g,
+		Protocol:             controlplane.ProtoCicero,
+		Aggregation:          controlplane.AggSwitch,
+		ControllersPerDomain: opt.Controllers,
+		Cost:                 protocol.Calibrated(),
+		Seed:                 opt.Seed,
+		Jitter:               0.1,
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, f := range flows {
+		f := f
+		ingress := n.Switches[f.ingress]
+		n.Sim.At(time.Duration(i)*time.Millisecond, func() {
+			ingress.PacketArrival(f.src, f.dst)
+		})
+	}
+	if _, err := n.Sim.RunUntil(5 * time.Second); err != nil {
+		return "", err
+	}
+	tables := make(map[string]*openflow.FlowTable, len(n.Switches))
+	for id, sw := range n.Switches {
+		tables[id] = sw.Table()
+	}
+	return tableDigest(tables), nil
+}
+
+// tableDigest canonicalizes a set of flow tables exactly as the chaos
+// plane does: sorted rule lines, hashed.
+func tableDigest(tables map[string]*openflow.FlowTable) string {
+	var lines []string
+	for id, t := range tables {
+		for _, r := range t.Rules() {
+			lines = append(lines, fmt.Sprintf("%s|%d|%s|%s|%d", id, r.Priority, r.Match, r.Action, r.Cookie))
+		}
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, line := range lines {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunCampaign executes one multi-process chaos campaign: plan, launch
+// one process per node, inject the workload, SIGKILL and partition per
+// options, restart through the recovery paths, drain, then verify every
+// invariant across the process boundaries.
+func RunCampaign(opt CampaignOptions) (*CampaignResult, error) {
+	opt = opt.defaulted()
+	res := &CampaignResult{ChainDigests: make(map[string]string)}
+	deadline := time.Now().Add(opt.Timeout)
+
+	g := SmokeGraph()
+	flows := drawFlows(g, opt.Flows, opt.Seed)
+	res.FlowsTotal = len(flows)
+	refDigest, err := campaignReference(opt, g, flows)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: simnet reference: %w", err)
+	}
+	res.RefDigest = refDigest
+
+	dep, err := Plan(Spec{Controllers: opt.Controllers, Graph: g, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	sup, err := NewSupervisor(dep, opt.Bin, opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	defer sup.Close()
+
+	for _, id := range dep.NodeIDs() {
+		if err := sup.Start(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := sup.WaitReady(dep.NodeIDs(), 30*time.Second); err != nil {
+		return nil, err
+	}
+
+	// First half of the workload, then faults mid-update.
+	half := len(flows) / 2
+	for _, f := range flows[:half] {
+		sup.InjectFlow(f.ingress, f.id, f.src, f.dst)
+	}
+	killedCtl, killedSw := "", ""
+	if opt.KillController {
+		killedCtl = string(dep.Members[1])
+		if err := sup.Kill(killedCtl); err != nil {
+			return nil, err
+		}
+	}
+	if opt.KillSwitch {
+		killedSw = dep.Switches[1]
+		if err := sup.Kill(killedSw); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Partition {
+		a, b := string(dep.Members[2]), string(dep.Members[3])
+		sup.Partition(a, b)
+		time.Sleep(500 * time.Millisecond)
+		sup.Heal(a, b)
+	}
+	for _, f := range flows[half:] {
+		sup.InjectFlow(f.ingress, f.id, f.src, f.dst)
+	}
+
+	// Restart the victims through the protocol recovery paths.
+	if killedCtl != "" {
+		if err := sup.Restart(killedCtl); err != nil {
+			return nil, err
+		}
+	}
+	if killedSw != "" {
+		if err := sup.Restart(killedSw); err != nil {
+			return nil, err
+		}
+	}
+	restarted := []string{}
+	if killedCtl != "" {
+		restarted = append(restarted, killedCtl)
+	}
+	if killedSw != "" {
+		restarted = append(restarted, killedSw)
+	}
+	if len(restarted) > 0 {
+		if err := sup.WaitReady(restarted, 30*time.Second); err != nil {
+			return nil, err
+		}
+	}
+
+	// Drain: re-inject incomplete flows (a killed switch lost its pending
+	// events) and nudge the liveness paths until everything lands.
+	round := 0
+	for time.Now().Before(deadline) {
+		done := 0
+		for _, f := range flows {
+			if sup.FlowDone(f.id) {
+				done++
+			}
+		}
+		res.FlowsDone = done
+		if done == len(flows) {
+			break
+		}
+		if round%3 == 2 {
+			for _, f := range flows {
+				if !sup.FlowDone(f.id) {
+					sup.InjectFlow(f.ingress, f.id, f.src, f.dst)
+				}
+			}
+			for _, m := range dep.Members {
+				sup.Nudge(string(m), protocol.NudgeRedispatch)
+			}
+			for _, sw := range dep.Switches {
+				sup.Nudge(sw, protocol.NudgeResendEvents)
+			}
+		}
+		round++
+		time.Sleep(300 * time.Millisecond)
+	}
+	if res.FlowsDone != res.FlowsTotal {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("liveness: only %d/%d flows completed before the deadline", res.FlowsDone, res.FlowsTotal))
+	}
+
+	// The restarted controller must finish peer state transfer.
+	res.Recovered = killedCtl == ""
+	if killedCtl != "" {
+		for time.Now().Before(deadline) {
+			snap, err := sup.Snapshot(killedCtl, 5*time.Second)
+			if err == nil && snap.Recovered {
+				res.Recovered = true
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		if !res.Recovered {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("recovery: restarted controller %s never reported Recovered", killedCtl))
+		}
+	}
+
+	restartedSet := make(map[string]bool)
+	for _, id := range restarted {
+		restartedSet[id] = true
+	}
+
+	// Quiescence: controller ledger lengths stable across three polls AND
+	// equal across every never-restarted controller. Stability alone is
+	// not enough: a replica that lost the pre-fault broadcasts to the
+	// partition window can sit wedged with an empty — but perfectly
+	// stable — ledger while the quorum makes progress. Waiting for
+	// agreement gives the retransmission paths time; if a replica still
+	// trails after ~2s of continuous disagreement it is wedged below a
+	// delivery gap the group already garbage-collected (sequential
+	// delivery can never fill it), so the supervisor pushes it through
+	// peer state transfer — the same authenticated f+1 path a restarted
+	// controller uses — and from then on treats it like one: prefix
+	// consistency still gates, the order-insensitive content digest does
+	// not (replayed processing may lawfully reuse installed rules).
+	transferred := make(map[string]bool, len(restartedSet))
+	for id := range restartedSet {
+		transferred[id] = true
+	}
+	stable, lagRounds := 0, 0
+	var lastLens []int
+	for stable < 3 && time.Now().Before(deadline) {
+		lens := make([]int, 0, len(dep.Members))
+		counts := make(map[string]int, len(dep.Members))
+		agreed, most := -1, 0
+		agree := true
+		for _, m := range dep.Members {
+			snap, err := sup.Snapshot(string(m), 5*time.Second)
+			if err != nil {
+				lens = nil
+				break
+			}
+			lens = append(lens, len(snap.Records))
+			counts[string(m)] = len(snap.Records)
+			if len(snap.Records) > most {
+				most = len(snap.Records)
+			}
+			if transferred[string(m)] {
+				continue
+			}
+			if agreed == -1 {
+				agreed = len(snap.Records)
+			} else if len(snap.Records) != agreed {
+				agree = false
+			}
+		}
+		if lens != nil && agree && equalInts(lens, lastLens) {
+			stable++
+		} else {
+			stable = 0
+		}
+		if lens != nil && !agree {
+			lagRounds++
+			if lagRounds >= 8 {
+				for _, m := range dep.Members {
+					id := string(m)
+					if !transferred[id] && counts[id] < most {
+						sup.Nudge(id, protocol.NudgeRecover)
+						transferred[id] = true
+					}
+				}
+				lagRounds = 0
+			}
+		} else {
+			lagRounds = 0
+		}
+		lastLens = lens
+		if stable < 3 {
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+
+	// Convergence checks across the process boundaries.
+	converge(sup, dep, res, refDigest, transferred)
+
+	// Tear down, then merge every per-process trace into one causally
+	// ordered timeline.
+	sup.Close()
+	res.ProcsLeaked = len(sup.LiveProcs())
+	merged, err := MergeTraces(sup.TracePaths())
+	if err != nil {
+		return res, err
+	}
+	res.TraceEvents = len(merged)
+	res.CausalErrors = CheckCausal(merged)
+	res.Violations = append(res.Violations, res.CausalErrors...)
+	return res, nil
+}
+
+// converge cross-checks final state over snapshot messages: data-plane
+// walk invariants, ledger prefix consistency, hash-chain digest
+// agreement, no-forged-rule, and the simnet reference digest.
+// transferred marks controllers whose history came from peer state
+// transfer (crash restart or a recover nudge).
+func converge(sup *Supervisor, dep *Deployment, res *CampaignResult, refDigest string, transferred map[string]bool) {
+	report := func(property, dedupKey, detail, traceToken string) {
+		res.Violations = append(res.Violations, property+": "+detail)
+		_, _ = dedupKey, traceToken
+	}
+
+	// Switch snapshots: tables and apply records.
+	tables := make(map[string]*openflow.FlowTable, len(dep.Switches))
+	var applies []protocol.SnapshotApply
+	applySwitch := make(map[int]string)
+	for _, sw := range dep.Switches {
+		snap, err := sup.Snapshot(sw, 10*time.Second)
+		if err != nil {
+			report("snapshot", sw, fmt.Sprintf("switch %s: %v", sw, err), sw)
+			continue
+		}
+		t := openflow.NewFlowTable()
+		for _, r := range snap.Rules {
+			t.Add(r)
+		}
+		tables[sw] = t
+		for _, ap := range snap.Applies {
+			applySwitch[len(applies)] = sw
+			applies = append(applies, ap)
+		}
+	}
+	hosts := make(map[string]bool)
+	for _, n := range dep.Spec.Graph.Nodes() {
+		if n.Kind == topology.KindHost {
+			hosts[n.ID] = true
+		}
+	}
+	netprop.WalkTables(tables, hosts, report)
+
+	// Controller snapshots: event ledgers and audit digests.
+	type ledgerEntry struct {
+		subject string
+		digest  string
+	}
+	ids := make([]string, 0, len(dep.Members))
+	ledgers := make([][]ledgerEntry, 0, len(dep.Members))
+	contents := make([]string, 0, len(dep.Members))
+	legit := make(map[string]bool)
+	for _, m := range dep.Members {
+		id := string(m)
+		snap, err := sup.Snapshot(id, 10*time.Second)
+		if err != nil {
+			report("snapshot", id, fmt.Sprintf("controller %s: %v", id, err), id)
+			continue
+		}
+		var ledger []ledgerEntry
+		for _, rec := range snap.Records {
+			switch rec.Kind {
+			case "event":
+				ledger = append(ledger, ledgerEntry{rec.Subject, hex.EncodeToString(rec.Digest)})
+			case "update":
+				legit[hex.EncodeToString(rec.Digest)] = true
+			}
+		}
+		ids = append(ids, id)
+		ledgers = append(ledgers, ledger)
+		contents = append(contents, hex.EncodeToString(snap.ContentDigest))
+		res.ChainDigests[id] = hex.EncodeToString(snap.ChainDigest)
+	}
+
+	// Honest controllers must agree on the event order (prefix shape —
+	// gated for every pair, including state-transferred controllers,
+	// mirroring the chaos plane's resync invariant). Controllers that
+	// never went through peer state transfer must additionally quiesce
+	// on the same order-insensitive ledger content digest: same
+	// decisions on every process, even though concurrent flows
+	// interleave event and update records in timing-dependent order (so
+	// the order-sensitive hash-chain digest only matches between
+	// byte-identical replicas, and a lawfully lagging transferred
+	// replica may hold a shorter — but prefix-identical — history, with
+	// update records re-derived during replay).
+	res.DigestAgreement = len(ids) >= 2
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			m := len(ledgers[i])
+			if len(ledgers[j]) < m {
+				m = len(ledgers[j])
+			}
+			for k := 0; k < m; k++ {
+				if ledgers[i][k] != ledgers[j][k] {
+					report("event-order", ids[i]+"|"+ids[j],
+						fmt.Sprintf("controllers %s and %s diverge at event %d: %q vs %q",
+							ids[i], ids[j], k, ledgers[i][k].subject, ledgers[j][k].subject), "")
+					break
+				}
+			}
+			if transferred[ids[i]] || transferred[ids[j]] {
+				continue
+			}
+			if contents[i] != contents[j] {
+				res.DigestAgreement = false
+				report("content-digest", ids[i]+"|"+ids[j],
+					fmt.Sprintf("controllers %s and %s quiesced on different audit ledger contents (%.12s vs %.12s)",
+						ids[i], ids[j], contents[i], contents[j]), "")
+			}
+		}
+	}
+
+	// No forged rule: every update a switch applied as valid must be
+	// committed in some controller's ledger.
+	for i, ap := range applies {
+		if !ap.Valid || legit[hex.EncodeToString(ap.Digest)] {
+			continue
+		}
+		report("no-forged-rule", fmt.Sprintf("%d", i),
+			fmt.Sprintf("switch %s applied update %s/%d phase %d that no controller committed",
+				applySwitch[i], ap.Origin, ap.Seq, ap.Phase), "")
+	}
+
+	// Reference convergence when the workload fully landed.
+	res.TableDigest = tableDigest(tables)
+	res.TableMatch = res.TableDigest == refDigest
+	if res.FlowsDone == res.FlowsTotal && !res.TableMatch {
+		report("reference", "tables",
+			fmt.Sprintf("quiesced tables (digest %.12s) diverge from the fault-free simnet reference (%.12s)",
+				res.TableDigest, refDigest), "")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

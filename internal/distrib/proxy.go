@@ -1,0 +1,219 @@
+package distrib
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// proxyMaxFrame mirrors livenet's frame cap; a proxy drops a connection
+// carrying anything larger (corrupted or hostile length prefix).
+const proxyMaxFrame = 1 << 22
+
+// proxyMinFrame is the smallest legal frame body (8-byte clock + 2-byte
+// sender length), matching livenet's framing.
+const proxyMinFrame = 10
+
+// proxy is one node's stable inbound face. Peers dial the proxy's fixed
+// front address; the proxy parses each frame far enough to learn the
+// sender and relays it to the node process's current real listener. This
+// indirection is what makes the fault plane socket-level: a partition
+// blocks a sender by closing (and refusing) its connections at the
+// victim's proxy, and a SIGKILL clears the backend so every peer's
+// frames hit a dead socket until the process reboots and re-registers.
+type proxy struct {
+	node string
+	ln   net.Listener
+
+	mu      sync.Mutex
+	backend string          // current real listener address, "" while down
+	blocked map[string]bool // sender ids whose frames are severed
+	fronts  map[net.Conn]string
+	backs   map[net.Conn]net.Conn
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// newProxy binds the node's stable front listener.
+func newProxy(node string) (*proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &proxy{
+		node:    node,
+		ln:      ln,
+		blocked: make(map[string]bool),
+		fronts:  make(map[net.Conn]string),
+		backs:   make(map[net.Conn]net.Conn),
+	}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the stable front address peers dial.
+func (p *proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBackend points the proxy at the node's current real listener ("" =
+// node down). All existing connections are severed either way: after a
+// restart peers must redial (the old process is gone), and after a kill
+// their sockets must die like the process did.
+func (p *proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	conns := p.takeConnsLocked(func(string) bool { return true })
+	p.mu.Unlock()
+	closeAll(conns)
+}
+
+// Block severs the sender: existing connections close, new frames from
+// it tear their connection down.
+func (p *proxy) Block(sender string) {
+	p.mu.Lock()
+	p.blocked[sender] = true
+	conns := p.takeConnsLocked(func(s string) bool { return s == sender })
+	p.mu.Unlock()
+	closeAll(conns)
+}
+
+// Unblock heals the sender's path; it reconnects on its next frame.
+func (p *proxy) Unblock(sender string) {
+	p.mu.Lock()
+	delete(p.blocked, sender)
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down and waits for its goroutines.
+func (p *proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	conns := p.takeConnsLocked(func(string) bool { return true })
+	p.mu.Unlock()
+	p.ln.Close()
+	closeAll(conns)
+	p.wg.Wait()
+}
+
+// takeConnsLocked removes and returns every connection whose learned
+// sender matches (front and back halves); p.mu must be held.
+func (p *proxy) takeConnsLocked(match func(sender string) bool) []net.Conn {
+	var out []net.Conn
+	for front, sender := range p.fronts {
+		if !match(sender) {
+			continue
+		}
+		out = append(out, front)
+		if back := p.backs[front]; back != nil {
+			out = append(out, back)
+		}
+		delete(p.fronts, front)
+		delete(p.backs, front)
+	}
+	return out
+}
+
+func closeAll(conns []net.Conn) {
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// accept runs the front listener.
+func (p *proxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.fronts[conn] = ""
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.relay(conn)
+	}
+}
+
+// relay forwards frames from one front connection to the node's current
+// backend, severing on block, node-down, or any framing error.
+func (p *proxy) relay(front net.Conn) {
+	defer p.wg.Done()
+	var back net.Conn
+	defer func() {
+		front.Close()
+		if back != nil {
+			back.Close()
+		}
+		p.mu.Lock()
+		delete(p.fronts, front)
+		delete(p.backs, front)
+		p.mu.Unlock()
+	}()
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(front, header[:]); err != nil {
+			return
+		}
+		frameLen := binary.BigEndian.Uint32(header[:])
+		if frameLen < proxyMinFrame || frameLen > proxyMaxFrame {
+			return
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(front, frame); err != nil {
+			return
+		}
+		fromLen := binary.BigEndian.Uint16(frame[8:10])
+		if int(fromLen) > len(frame)-proxyMinFrame {
+			return
+		}
+		sender := string(frame[10 : 10+fromLen])
+
+		p.mu.Lock()
+		if p.closed || p.blocked[sender] {
+			p.mu.Unlock()
+			return
+		}
+		p.fronts[front] = sender
+		backend := p.backend
+		p.mu.Unlock()
+		if backend == "" {
+			return // node is down: the sender's socket dies too
+		}
+		if back == nil {
+			c, err := net.DialTimeout("tcp", backend, time.Second)
+			if err != nil {
+				return
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				c.Close()
+				return
+			}
+			p.backs[front] = c
+			p.mu.Unlock()
+			back = c
+		}
+		back.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		if _, err := back.Write(header[:]); err != nil {
+			return
+		}
+		if _, err := back.Write(frame); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package distrib turns the livenet TCP backend into a true distributed
+// deployment: one OS process per controller and switch (cmd/cicero-node),
+// a supervisor that plans key material, launches and monitors the
+// processes, kills them with SIGKILL, restarts them through the protocol
+// recovery paths, and imposes socket-level partitions via per-node proxy
+// listeners. Cross-process state is compared at convergence through
+// signed snapshot messages (audit hash-chain digests, flow tables), and
+// every process writes a structured trace ordered by a shared Lamport
+// clock so cmd/cicero-trace can merge them into one causal timeline.
+package distrib
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sort"
+	"time"
+
+	"cicero/internal/controlplane"
+	"cicero/internal/protocol"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/dkg"
+	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/tcrypto/pki"
+	"cicero/internal/topology"
+)
+
+// DriverID is the supervisor's own node id on the fabric: node processes
+// hello it at boot and send it snapshots and flow completions.
+const DriverID = "distrib/driver"
+
+// Spec describes the deployment to plan: a single-domain Cicero control
+// plane over an explicit data-plane graph.
+type Spec struct {
+	// Controllers sizes the control plane (Cicero needs >= 4).
+	Controllers int
+	// Graph is the data-plane topology; every non-host node becomes one
+	// switch process.
+	Graph *topology.Graph
+	// Seed drives nothing at plan time (keys come from crypto/rand) but
+	// is recorded so workload generation and the simnet reference agree.
+	Seed int64
+	// BatchSize/BatchDelay configure batched ordering (<= 1 disables).
+	BatchSize  int
+	BatchDelay time.Duration
+	// ViewChangeTimeout bounds broadcast stalls; zero takes the live
+	// chaos plane's 2s wall-clock default.
+	ViewChangeTimeout time.Duration
+}
+
+// Deployment is a planned deployment: per-node signed provisioning
+// bundles plus the deployment trust anchor.
+type Deployment struct {
+	Spec     Spec
+	Members  []pki.Identity
+	Switches []string
+	Quorum   int
+	// Bundles maps every node id to its provisioning bundle.
+	Bundles map[string]protocol.NodeBundle
+	// DeployPub is the trust anchor node processes verify bundles
+	// against; the private half stays with the supervisor.
+	DeployPub  ed25519.PublicKey
+	deployPriv ed25519.PrivateKey
+}
+
+// NodeIDs returns every planned node id, controllers first, in stable
+// order.
+func (d *Deployment) NodeIDs() []string {
+	ids := make([]string, 0, len(d.Members)+len(d.Switches))
+	for _, m := range d.Members {
+		ids = append(ids, string(m))
+	}
+	ids = append(ids, d.Switches...)
+	return ids
+}
+
+// Plan generates the deployment's key material — identity keys for every
+// node, one DKG for the domain threshold key, the deployment signing key
+// — and packs one bundle per node. It mirrors core.Build's assembly so a
+// process booted from a bundle is indistinguishable from an in-process
+// node.
+func Plan(spec Spec) (*Deployment, error) {
+	if spec.Graph == nil {
+		return nil, fmt.Errorf("distrib: spec needs a graph")
+	}
+	if spec.Controllers < 4 {
+		return nil, fmt.Errorf("distrib: cicero requires >= 4 controllers, got %d", spec.Controllers)
+	}
+	if spec.ViewChangeTimeout == 0 {
+		// A zero timeout disables view changes, so one message loss during
+		// a partition window would stall the atomic broadcast forever.
+		// Wall-clock deployments share the live chaos plane's default.
+		spec.ViewChangeTimeout = 2 * time.Second
+	}
+	members := make([]pki.Identity, spec.Controllers)
+	for i := range members {
+		members[i] = pki.Identity(fmt.Sprintf("dom0/ctl/%d", i+1))
+	}
+	var switches []string
+	for _, n := range spec.Graph.Nodes() {
+		if n.Kind != topology.KindHost {
+			switches = append(switches, n.ID)
+		}
+	}
+	sort.Strings(switches)
+	if len(switches) == 0 {
+		return nil, fmt.Errorf("distrib: graph has no switches")
+	}
+
+	quorum := controlplane.CiceroQuorum(spec.Controllers)
+	scheme := bls.NewScheme(pairing.Fast254())
+	gk, shares, err := dkg.Run(scheme, rand.Reader, quorum, spec.Controllers)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: dkg: %w", err)
+	}
+
+	seeds := make(map[string][]byte)
+	directory := make(map[pki.Identity][]byte)
+	addKey := func(id pki.Identity) error {
+		kp, err := pki.NewKeyPair(rand.Reader, id)
+		if err != nil {
+			return fmt.Errorf("distrib: keygen %s: %w", id, err)
+		}
+		seeds[string(id)] = kp.Seed()
+		directory[id] = append([]byte(nil), kp.Public...)
+		return nil
+	}
+	for _, m := range members {
+		if err := addKey(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, sw := range switches {
+		if err := addKey(pki.Identity(sw)); err != nil {
+			return nil, err
+		}
+	}
+
+	deployPub, deployPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: deployment key: %w", err)
+	}
+
+	graphNodes, graphLinks := GraphToWire(spec.Graph)
+	peerDomains := map[int][]pki.Identity{0: append([]pki.Identity(nil), members...)}
+
+	dep := &Deployment{
+		Spec:       spec,
+		Members:    members,
+		Switches:   switches,
+		Quorum:     quorum,
+		Bundles:    make(map[string]protocol.NodeBundle),
+		DeployPub:  deployPub,
+		deployPriv: deployPriv,
+	}
+	common := protocol.NodeBundle{
+		Driver:              DriverID,
+		Members:             members,
+		Switches:            switches,
+		PeerDomains:         peerDomains,
+		Quorum:              quorum,
+		Directory:           directory,
+		GroupKey:            gk,
+		BatchSize:           spec.BatchSize,
+		BatchDelayNS:        int64(spec.BatchDelay),
+		ViewChangeTimeoutNS: int64(spec.ViewChangeTimeout),
+		GraphNodes:          graphNodes,
+		GraphLinks:          graphLinks,
+	}
+	for i, m := range members {
+		b := common
+		b.Role = protocol.RoleController
+		b.ID = string(m)
+		b.Slot = i
+		b.KeySeed = seeds[string(m)]
+		b.Share = shares[i]
+		b.Bootstrap = i == 0
+		dep.Bundles[string(m)] = b
+	}
+	for _, sw := range switches {
+		b := common
+		b.Role = protocol.RoleSwitch
+		b.ID = sw
+		b.KeySeed = seeds[sw]
+		dep.Bundles[sw] = b
+	}
+	return dep, nil
+}
+
+// GraphToWire serializes a topology graph into the bundle's explicit
+// node/link lists (each undirected link once, in stable order).
+func GraphToWire(g *topology.Graph) ([]protocol.WireGraphNode, []protocol.WireGraphLink) {
+	var nodes []protocol.WireGraphNode
+	for _, n := range g.Nodes() {
+		nodes = append(nodes, protocol.WireGraphNode{
+			ID: n.ID, Kind: int(n.Kind), DC: n.DC, Pod: n.Pod, Rack: n.Rack,
+		})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	var links []protocol.WireGraphLink
+	for _, n := range nodes {
+		for _, e := range g.Neighbors(n.ID) {
+			if n.ID >= e.To {
+				continue // each undirected link once, from its lesser end
+			}
+			links = append(links, protocol.WireGraphLink{
+				A: n.ID, B: e.To, LatencyNS: int64(e.Latency), Gbps: e.GbpsCapacity,
+			})
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	return nodes, links
+}
+
+// GraphFromWire rebuilds the topology graph a bundle describes.
+func GraphFromWire(nodes []protocol.WireGraphNode, links []protocol.WireGraphLink) (*topology.Graph, error) {
+	g := topology.NewGraph()
+	for _, n := range nodes {
+		g.AddNode(topology.Node{
+			ID: n.ID, Kind: topology.Kind(n.Kind), DC: n.DC, Pod: n.Pod, Rack: n.Rack,
+		})
+	}
+	for _, l := range links {
+		if err := g.AddLink(l.A, l.B, time.Duration(l.LatencyNS), l.Gbps); err != nil {
+			return nil, fmt.Errorf("distrib: graph link %s-%s: %w", l.A, l.B, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,187 @@
+package distrib
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cicero/internal/livenet"
+)
+
+// TraceEvent is one structured trace record from one process. Clock is
+// the process's Lamport value at emit time; because the TCP fabric
+// threads the same clock through every frame, any event that causally
+// follows another (across any number of processes) has a strictly larger
+// Clock, and sorting the union of all per-process files by Clock yields
+// a causally consistent total order. Ref carries a hash reference (hex
+// digest of the canonical update bytes) linking dispatches to applies.
+type TraceEvent struct {
+	Proc   string `json:"proc"`
+	Seq    uint64 `json:"seq"`
+	Clock  uint64 `json:"clock"`
+	WallNS int64  `json:"wall_ns"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	Ref    string `json:"ref,omitempty"`
+}
+
+// Trace event kinds.
+const (
+	TraceBoot     = "boot"
+	TraceHello    = "hello"
+	TraceSend     = "send"
+	TraceRecv     = "recv"
+	TraceApply    = "apply"
+	TraceShutdown = "shutdown"
+)
+
+// Tracer appends JSONL trace events to a file, stamping each with the
+// process's Lamport clock. A nil Tracer is a valid no-op, so tracing is
+// strictly optional.
+type Tracer struct {
+	mu    sync.Mutex
+	f     *os.File
+	proc  string
+	seq   uint64
+	clock *livenet.LamportClock
+}
+
+// NewTracer opens (truncating) the trace file for one process.
+func NewTracer(path, proc string, clock *livenet.LamportClock) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracer{f: f, proc: proc, clock: clock}, nil
+}
+
+// Emit records one event. Each line is written straight through so a
+// SIGKILL loses at most the event being written.
+func (t *Tracer) Emit(kind, detail, ref string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev := TraceEvent{
+		Proc:   t.proc,
+		Seq:    t.seq,
+		Clock:  t.clock.Tick(),
+		WallNS: time.Now().UnixNano(),
+		Kind:   kind,
+		Detail: detail,
+		Ref:    ref,
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	t.f.Write(append(line, '\n'))
+}
+
+// Close closes the trace file.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.f.Close()
+}
+
+// ReadTrace parses one per-process trace file. A truncated final line
+// (the process was SIGKILLed mid-write) is tolerated and dropped.
+func ReadTrace(path string) ([]TraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []TraceEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // torn tail write from a killed process
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// MergeTraces reads every per-process trace file and merges them into
+// one timeline ordered by (Lamport clock, wall clock, process, seq) —
+// the Lamport component guarantees causal consistency, the remaining
+// keys make the order total and deterministic.
+func MergeTraces(paths []string) ([]TraceEvent, error) {
+	var all []TraceEvent
+	for _, path := range paths {
+		evs, err := ReadTrace(path)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: trace %s: %w", path, err)
+		}
+		all = append(all, evs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Clock != b.Clock {
+			return a.Clock < b.Clock
+		}
+		if a.WallNS != b.WallNS {
+			return a.WallNS < b.WallNS
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	return all, nil
+}
+
+// CheckCausal verifies a merged timeline's causal structure:
+//
+//   - per process, sequence numbers strictly increase and Lamport clocks
+//     never decrease (a violated pair means the merge interleaved one
+//     process's events out of order);
+//   - every apply event whose Ref names an update digest appears after a
+//     send of that digest (a switch can only apply an update some
+//     controller dispatched causally earlier).
+//
+// It returns human-readable violations; empty means the timeline is
+// causally ordered.
+func CheckCausal(events []TraceEvent) []string {
+	var violations []string
+	lastSeq := make(map[string]uint64)
+	lastClock := make(map[string]uint64)
+	sent := make(map[string]bool)
+	for i, ev := range events {
+		if prev, ok := lastSeq[ev.Proc]; ok && ev.Seq <= prev {
+			violations = append(violations,
+				fmt.Sprintf("event %d: process %s seq went %d -> %d (out of order in merge)", i, ev.Proc, prev, ev.Seq))
+		}
+		lastSeq[ev.Proc] = ev.Seq
+		if prev, ok := lastClock[ev.Proc]; ok && ev.Clock < prev {
+			violations = append(violations,
+				fmt.Sprintf("event %d: process %s clock went %d -> %d (merge broke process order)", i, ev.Proc, prev, ev.Clock))
+		}
+		lastClock[ev.Proc] = ev.Clock
+		switch ev.Kind {
+		case TraceSend:
+			if ev.Ref != "" {
+				sent[ev.Ref] = true
+			}
+		case TraceApply:
+			if ev.Ref != "" && !sent[ev.Ref] {
+				violations = append(violations,
+					fmt.Sprintf("event %d: %s applied update %s with no causally earlier dispatch in the merged timeline", i, ev.Proc, ev.Ref[:12]))
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,122 @@
+package distrib
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cicero/internal/livenet"
+)
+
+// TestTraceMergeCausalOrder writes two per-process traces whose clocks
+// interleave and checks the merge is causally ordered and clean.
+func TestTraceMergeCausalOrder(t *testing.T) {
+	dir := t.TempDir()
+	pa := filepath.Join(dir, "trace-a.jsonl")
+	pb := filepath.Join(dir, "trace-b.jsonl")
+
+	// Shared clock simulates the fabric threading Lamport values between
+	// the two processes: a sends, b observes and applies.
+	clockA := livenet.NewLamportClock()
+	clockB := livenet.NewLamportClock()
+	ta, err := NewTracer(pa, "a", clockA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTracer(pb, "b", clockB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.Emit(TraceBoot, "", "")
+	ta.Emit(TraceSend, "update to b", "digest-1")
+	clockB.Observe(clockA.Now()) // the frame carries a's clock
+	tb.Emit(TraceRecv, "update from a", "digest-1")
+	tb.Emit(TraceApply, "update", "digest-1")
+	ta.Close()
+	tb.Close()
+
+	merged, err := MergeTraces([]string{pa, pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events, want 4", len(merged))
+	}
+	// The apply must land after the send it references.
+	sendAt, applyAt := -1, -1
+	for i, ev := range merged {
+		switch ev.Kind {
+		case TraceSend:
+			sendAt = i
+		case TraceApply:
+			applyAt = i
+		}
+	}
+	if sendAt < 0 || applyAt < 0 || applyAt < sendAt {
+		t.Fatalf("apply at %d did not follow send at %d", applyAt, sendAt)
+	}
+	if violations := CheckCausal(merged); len(violations) != 0 {
+		t.Fatalf("unexpected causal violations: %v", violations)
+	}
+}
+
+// TestCheckCausalDetectsOrphanApply verifies the checker flags an apply
+// whose dispatch never appears in the merged timeline.
+func TestCheckCausalDetectsOrphanApply(t *testing.T) {
+	events := []TraceEvent{
+		{Proc: "a", Seq: 1, Clock: 1, Kind: TraceBoot},
+		{Proc: "b", Seq: 1, Clock: 2, Kind: TraceApply, Ref: "deadbeefdeadbeef"},
+	}
+	if violations := CheckCausal(events); len(violations) != 1 {
+		t.Fatalf("want 1 violation for orphan apply, got %v", violations)
+	}
+}
+
+// TestCheckCausalDetectsBrokenProcessOrder verifies the checker flags a
+// merge that interleaves one process's events out of order.
+func TestCheckCausalDetectsBrokenProcessOrder(t *testing.T) {
+	events := []TraceEvent{
+		{Proc: "a", Seq: 2, Clock: 5, Kind: TraceSend},
+		{Proc: "a", Seq: 1, Clock: 3, Kind: TraceBoot},
+	}
+	violations := CheckCausal(events)
+	if len(violations) != 2 { // seq regressed and clock regressed
+		t.Fatalf("want 2 violations for broken process order, got %v", violations)
+	}
+}
+
+// TestReadTraceToleratesTornTail simulates a SIGKILL mid-write: the
+// final line is truncated and must be dropped, not fail the parse.
+func TestReadTraceToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace-torn.jsonl")
+	content := `{"proc":"a","seq":1,"clock":1,"kind":"boot"}
+{"proc":"a","seq":2,"clock":2,"kind":"send","ref":"abc"}
+{"proc":"a","seq":3,"clo`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("want 2 events with torn tail dropped, got %d", len(events))
+	}
+}
+
+// TestLamportClock exercises the clock's tick/observe laws.
+func TestLamportClock(t *testing.T) {
+	c := livenet.NewLamportClock()
+	if got := c.Tick(); got != 1 {
+		t.Fatalf("first tick = %d, want 1", got)
+	}
+	if got := c.Observe(10); got != 11 {
+		t.Fatalf("observe(10) = %d, want 11", got)
+	}
+	if got := c.Observe(3); got != 12 {
+		t.Fatalf("observe(3) after 11 = %d, want 12 (local dominates)", got)
+	}
+	if got := c.Now(); got != 12 {
+		t.Fatalf("now = %d, want 12", got)
+	}
+}

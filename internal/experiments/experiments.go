@@ -89,6 +89,7 @@ func Registry() map[string]Runner {
 		"ablations": Ablations,
 		"chaos":     ChaosCampaign,
 		"synthesis": Synthesis,
+		"distrib":   Distrib,
 	}
 }
 

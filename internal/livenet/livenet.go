@@ -384,6 +384,15 @@ func (b *base) Resilience() ResilienceStats { return b.st.resilience() }
 // partitioned destination) and counts the send. It returns the
 // destination node, or a typed error saying why the send was refused.
 func (b *base) admit(from, to fabric.NodeID) (*node, error) {
+	return b.admitSend(from, to, false)
+}
+
+// admitSend is admit with multi-process awareness: when remoteOK is true
+// a destination that is not locally registered is admitted with a nil
+// node (the caller owns a remote route to it). Crash and partition state
+// still apply — they reflect this process's local view of the fault
+// plane.
+func (b *base) admitSend(from, to fabric.NodeID, remoteOK bool) (*node, error) {
 	b.st.sent.Add(1)
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -401,6 +410,9 @@ func (b *base) admit(from, to fabric.NodeID) (*node, error) {
 	}
 	n, ok := b.nodes[to]
 	if !ok {
+		if remoteOK {
+			return nil, nil
+		}
 		b.st.droppedUnknown.Add(1)
 		return nil, ErrUnknownNode
 	}

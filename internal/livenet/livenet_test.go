@@ -3,6 +3,7 @@ package livenet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -206,6 +207,73 @@ func TestTCPReconnect(t *testing.T) {
 			return false
 		}
 	}, "delivery after reconnect")
+}
+
+// TestTCPReconnectRacesPartitionHeal is the regression test for a
+// reconnect racing a partition heal: the link's connection dies while
+// the pair is partitioned (so the writer's redial overlaps the logical
+// fault window), and delivery must resume promptly once the partition
+// heals — no stale cached connection, no breaker stuck open past the
+// heal.
+func TestTCPReconnectRacesPartitionHeal(t *testing.T) {
+	res := DefaultResilience()
+	res.DialTimeout = 200 * time.Millisecond
+	res.Backoff = Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.5}
+	res.BreakerThreshold = 3
+	res.BreakerCooldown = 30 * time.Millisecond
+	f, err := NewTCPWithResilience(protocol.NewWireCodec(nil), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var delivered atomic.Uint64
+	f.Register("s1", fabric.HandlerFunc(func(fabric.NodeID, fabric.Message) {
+		delivered.Add(1)
+	}))
+
+	stop := make(chan struct{})
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		var seq uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			f.Send("c1", "s1", protocol.MsgHeartbeat{From: "c1", Seq: seq}, 0)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-senderDone
+	}()
+
+	waitFor(t, 5*time.Second, func() bool { return delivered.Load() > 10 },
+		"initial deliveries")
+
+	// Partition, then sever the live socket mid-window so the writer's
+	// reconnect machinery runs while the logical fault is still up.
+	f.Partition("c1", "s1")
+	atPartition := f.Stats().DroppedPartition
+	waitFor(t, 5*time.Second, func() bool {
+		return f.Stats().DroppedPartition > atPartition+5
+	}, "sends to drop during the partition")
+	l, err := f.link("c1", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn := l.currentConn(); conn != nil {
+		conn.Close()
+	}
+
+	f.Heal("c1", "s1")
+	atHeal := delivered.Load()
+	waitFor(t, 10*time.Second, func() bool { return delivered.Load() > atHeal+10 },
+		"delivery to resume after the heal")
 }
 
 // TestBFTOverInProc runs a real 4-replica Byzantine atomic broadcast on

@@ -161,6 +161,90 @@ func TestTCPBreakerTripsOnDeadPeer(t *testing.T) {
 	}
 }
 
+// TestResilienceCountersExactOnDeadPeer pins the exact counter values the
+// BENCH_live.json resilience section is built from (chaos copies
+// fab.Resilience() verbatim). With MaxAttempts=1 nothing ever retries, a
+// threshold of 2 against a dead listener trips the breaker exactly once,
+// and a cooldown far longer than the test keeps it from re-tripping via a
+// half-open probe — so every counter has one correct value, not a range.
+func TestResilienceCountersExactOnDeadPeer(t *testing.T) {
+	res := DefaultResilience()
+	res.DialTimeout = 50 * time.Millisecond
+	res.MaxAttempts = 1 // no retries: Retries must stay exactly 0
+	res.Backoff = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Factor: 2}
+	res.BreakerThreshold = 2
+	res.BreakerCooldown = 10 * time.Second // never half-opens during the test
+	f, err := NewTCPWithResilience(protocol.NewWireCodec(nil), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Register("s1", fabric.HandlerFunc(func(fabric.NodeID, fabric.Message) {}))
+	f.lmu.Lock()
+	ln := f.listeners["s1"]
+	f.lmu.Unlock()
+	ln.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for f.SendErr("c1", "s1", protocol.MsgHeartbeat{Seq: 1}, 0) != ErrPeerUnreachable {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never tripped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := f.Resilience()
+	want := ResilienceStats{BreakerTrips: 1}
+	if st != want {
+		t.Fatalf("resilience counters = %+v, want %+v", st, want)
+	}
+}
+
+// TestResilienceCountersExactOnReconnect pins reconnect accounting: the
+// first dial of a link is a connect, not a reconnect (setConn only counts
+// when a connection existed before), and severing the live connection
+// costs exactly one failed write (one retry) and one redial (one
+// reconnect) for the next frame.
+func TestResilienceCountersExactOnReconnect(t *testing.T) {
+	res := DefaultResilience()
+	res.DialTimeout = time.Second
+	res.MaxAttempts = 3
+	res.Backoff = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Factor: 2}
+	f, err := NewTCPWithResilience(protocol.NewWireCodec(nil), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var delivered atomic.Uint64
+	f.Register("s1", fabric.HandlerFunc(func(fabric.NodeID, fabric.Message) {
+		delivered.Add(1)
+	}))
+
+	f.Send("c1", "s1", protocol.MsgHeartbeat{Seq: 1}, 0)
+	waitFor(t, 5*time.Second, func() bool { return delivered.Load() == 1 },
+		"first delivery")
+	if st := f.Resilience(); st != (ResilienceStats{}) {
+		t.Fatalf("counters moved on a clean first connect: %+v", st)
+	}
+
+	// Sever the established connection out from under the link. The next
+	// frame's first write fails immediately (closed conn), which is one
+	// retry; the redial that follows replaces an existing connection,
+	// which is one reconnect.
+	l, err := f.link("c1", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.currentConn().Close()
+	f.Send("c1", "s1", protocol.MsgHeartbeat{Seq: 2}, 0)
+	waitFor(t, 5*time.Second, func() bool { return delivered.Load() == 2 },
+		"delivery after severed connection")
+	st := f.Resilience()
+	want := ResilienceStats{Retries: 1, Reconnects: 1}
+	if st != want {
+		t.Fatalf("resilience counters = %+v, want %+v", st, want)
+	}
+}
+
 // TestTCPKillPeerMidWorkload crashes the receiver in the middle of a
 // steady send workload, restarts it, and requires delivery to resume: the
 // retry/reconnect layer must ride out the dead listener and redial the
@@ -206,7 +290,12 @@ func TestTCPKillPeerMidWorkload(t *testing.T) {
 	// Kill the peer mid-workload: listener gone, live connections severed.
 	f.Crash("s1")
 	atCrash := delivered.Load()
-	time.Sleep(300 * time.Millisecond) // workload keeps hammering a dead peer
+	atCrashDropped := f.Stats().DroppedCrash
+	// The workload keeps hammering the dead peer; wait for the fault
+	// plane to observably drop traffic instead of sleeping a fixed beat.
+	waitFor(t, 5*time.Second, func() bool {
+		return f.Stats().DroppedCrash > atCrashDropped+5
+	}, "sends to drop against the crashed peer")
 
 	// Restart: the node re-listens (new port); senders must redial.
 	f.Restart("s1")

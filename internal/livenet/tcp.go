@@ -18,28 +18,39 @@ import (
 // a bad frame from forcing a huge allocation.
 const maxFrameBytes = 1 << 22
 
-// TCP is the live backend over localhost TCP sockets. Every registered
-// node gets its own listener on 127.0.0.1 (kernel-assigned port); each
-// (from, to) pair gets a peer link: a bounded outbound queue drained by a
-// writer goroutine that dials lazily, retries with bounded exponential
-// backoff and jitter under per-attempt deadlines, and sits behind a
-// per-peer circuit breaker that trips after repeated dial failures and
-// probes half-open after a cooldown. Messages travel as length-prefixed
+// TCP is the live backend over TCP sockets. Every registered node gets
+// its own listener on 127.0.0.1 (kernel-assigned port); each (from, to)
+// pair gets a peer link: a bounded outbound queue drained by a writer
+// goroutine that dials lazily, retries with bounded exponential backoff
+// and jitter under per-attempt deadlines, and sits behind a per-peer
+// circuit breaker that trips after repeated dial failures and probes
+// half-open after a cooldown. Messages travel as length-prefixed
 // wire-codec frames:
 //
-//	[4B frame length][2B sender-id length][sender id][codec bytes]
+//	[4B frame length][8B lamport clock][2B sender-id length][sender id][codec bytes]
 //
-// Crash and partition state is enforced at the sending fabric (both ends
-// live in one process in the current harness, sharing that state); a
-// crash additionally severs the node's sockets — its listener closes, its
-// accepted connections drop, and every peer link touching it shuts down —
-// and a restart re-listens on a fresh port, so recovery exercises real
-// redials.
+// The fabric runs in two shapes. The single-process shape (NewTCP) hosts
+// every node in one process: crash and partition state is enforced at the
+// sending fabric, and a crash additionally severs the node's sockets —
+// its listener closes, its accepted connections drop, and every peer link
+// touching it shuts down — while a restart re-listens on a fresh port, so
+// recovery exercises real redials. The multi-process shape (NewTCPNode)
+// hosts only this process's nodes locally and routes every other
+// destination through a static address map (internal/distrib): crashes
+// there are real SIGKILLs and partitions are sockets severed by the
+// supervisor's per-node proxies, not flags in shared memory.
 type TCP struct {
 	base
 	codec Codec
 	res   Resilience
 	rng   *lockedRand
+	// remotes maps nodes hosted by other processes to their dial
+	// addresses (the distributed deployment's static address map). Local
+	// registrations always win, so a process's own nodes short-circuit.
+	remotes map[fabric.NodeID]string
+	// clock, when set, stamps every outbound frame and observes every
+	// inbound one (cross-process causal order for trace merging).
+	clock *LamportClock
 
 	lmu       sync.Mutex
 	tclosed   bool
@@ -64,20 +75,55 @@ func NewTCP(codec Codec) (*TCP, error) {
 // NewTCPWithResilience builds a TCP fabric with an explicit resilience
 // configuration (zero fields take defaults).
 func NewTCPWithResilience(codec Codec, res Resilience) (*TCP, error) {
-	if codec == nil {
+	return NewTCPNode(TCPOptions{Codec: codec, Resilience: res})
+}
+
+// TCPOptions configures a TCP fabric.
+type TCPOptions struct {
+	// Codec serializes messages for the wire (required).
+	Codec Codec
+	// Resilience tunes dial/retry/breaker behavior (zero fields take
+	// defaults).
+	Resilience Resilience
+	// Remotes is the static address map of the distributed deployment:
+	// node id -> dial address for every node hosted by another process.
+	// Nil or empty keeps the single-process behavior (sends to
+	// unregistered nodes fail with ErrUnknownNode).
+	Remotes map[fabric.NodeID]string
+	// Clock, when non-nil, is ticked for every outbound frame and
+	// observed for every inbound one, establishing a cross-process
+	// Lamport order.
+	Clock *LamportClock
+}
+
+// NewTCPNode builds a TCP fabric for one process of a multi-process
+// deployment: nodes registered here are served locally, every address in
+// opts.Remotes is reachable over the wire, and frames carry the process's
+// Lamport clock when one is provided.
+func NewTCPNode(opts TCPOptions) (*TCP, error) {
+	if opts.Codec == nil {
 		return nil, errors.New("livenet: tcp fabric requires a codec")
+	}
+	remotes := make(map[fabric.NodeID]string, len(opts.Remotes))
+	for id, addr := range opts.Remotes {
+		remotes[id] = addr
 	}
 	return &TCP{
 		base:      newBase(),
-		codec:     codec,
-		res:       res.withDefaults(),
+		codec:     opts.Codec,
+		res:       opts.Resilience.withDefaults(),
 		rng:       newLockedRand(time.Now().UnixNano()),
+		remotes:   remotes,
+		clock:     opts.Clock,
 		addrs:     make(map[fabric.NodeID]string),
 		listeners: make(map[fabric.NodeID]net.Listener),
 		inbound:   make(map[net.Conn]fabric.NodeID),
 		links:     make(map[[2]fabric.NodeID]*peerLink),
 	}, nil
 }
+
+// Clock returns the fabric's Lamport clock (nil unless configured).
+func (t *TCP) Clock() *LamportClock { return t.clock }
 
 // Register adds the node and opens its listener. Listener failure is
 // fatal to the node's reachability; it is reported via panic because it
@@ -159,7 +205,7 @@ func (t *TCP) readLoop(to fabric.NodeID, conn net.Conn) {
 			return
 		}
 		frameLen := binary.BigEndian.Uint32(header[:])
-		if frameLen < 2 || frameLen > maxFrameBytes {
+		if frameLen < minFrameLen || frameLen > maxFrameBytes {
 			t.st.droppedUnknown.Add(1)
 			return
 		}
@@ -167,13 +213,14 @@ func (t *TCP) readLoop(to fabric.NodeID, conn net.Conn) {
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
-		fromLen := binary.BigEndian.Uint16(frame[:2])
-		if int(fromLen) > len(frame)-2 {
+		clock := binary.BigEndian.Uint64(frame[:8])
+		fromLen := binary.BigEndian.Uint16(frame[8:10])
+		if int(fromLen) > len(frame)-minFrameLen {
 			t.st.droppedUnknown.Add(1)
 			return
 		}
-		from := fabric.NodeID(frame[2 : 2+fromLen])
-		msg, err := t.codec.Decode(frame[2+fromLen:])
+		from := fabric.NodeID(frame[10 : 10+fromLen])
+		msg, err := t.codec.Decode(frame[10+fromLen:])
 		if err != nil {
 			t.st.droppedUnknown.Add(1)
 			return
@@ -189,6 +236,9 @@ func (t *TCP) readLoop(to fabric.NodeID, conn net.Conn) {
 			continue
 		}
 		n.enqueue(func() {
+			if t.clock != nil {
+				t.clock.Observe(clock)
+			}
 			t.st.delivered.Add(1)
 			n.handler().HandleMessage(from, msg)
 		})
@@ -208,7 +258,7 @@ func (t *TCP) Send(from, to fabric.NodeID, msg fabric.Message, size int) {
 // accepted by the peer link's writer; delivery remains best-effort
 // (datagram semantics — the writer's retry budget can still run out).
 func (t *TCP) SendErr(from, to fabric.NodeID, msg fabric.Message, size int) error {
-	if _, err := t.admit(from, to); err != nil {
+	if _, err := t.admitSend(from, to, t.hasRemote(to)); err != nil {
 		return err
 	}
 	msg, copies, delay, err := t.inject(from, to, msg, size)
@@ -220,7 +270,11 @@ func (t *TCP) SendErr(from, to fabric.NodeID, msg fabric.Message, size int) erro
 		t.st.droppedUnknown.Add(1)
 		return ErrEncode
 	}
-	frame := buildFrame(from, data)
+	var clock uint64
+	if t.clock != nil {
+		clock = t.clock.Tick()
+	}
+	frame := buildFrame(from, data, clock)
 	if len(frame)-4 > maxFrameBytes {
 		t.st.droppedUnknown.Add(1)
 		return ErrEncode
@@ -243,15 +297,27 @@ func (t *TCP) SendErr(from, to fabric.NodeID, msg fabric.Message, size int) erro
 	return firstErr
 }
 
+// minFrameLen is the smallest legal frame body: the 8-byte clock plus
+// the 2-byte sender-length prefix.
+const minFrameLen = 10
+
 // buildFrame assembles the length-prefixed wire frame.
-func buildFrame(from fabric.NodeID, payload []byte) []byte {
-	frameLen := 2 + len(from) + len(payload)
+func buildFrame(from fabric.NodeID, payload []byte, clock uint64) []byte {
+	frameLen := minFrameLen + len(from) + len(payload)
 	frame := make([]byte, 4+frameLen)
 	binary.BigEndian.PutUint32(frame[:4], uint32(frameLen))
-	binary.BigEndian.PutUint16(frame[4:6], uint16(len(from)))
-	copy(frame[6:], from)
-	copy(frame[6+len(from):], payload)
+	binary.BigEndian.PutUint64(frame[4:12], clock)
+	binary.BigEndian.PutUint16(frame[12:14], uint16(len(from)))
+	copy(frame[14:], from)
+	copy(frame[14+len(from):], payload)
 	return frame
+}
+
+// hasRemote reports whether the node has a static remote address (and is
+// therefore sendable even when not registered in this process).
+func (t *TCP) hasRemote(to fabric.NodeID) bool {
+	_, ok := t.remotes[to]
+	return ok
 }
 
 // link returns (creating if needed) the peer link for (from, to).
@@ -262,7 +328,7 @@ func (t *TCP) link(from, to fabric.NodeID) (*peerLink, error) {
 	if t.tclosed {
 		return nil, ErrFabricClosed
 	}
-	if _, ok := t.addrs[to]; !ok {
+	if _, ok := t.addrs[to]; !ok && !t.hasRemote(to) {
 		return nil, ErrUnknownNode
 	}
 	l, ok := t.links[key]
@@ -283,12 +349,16 @@ func (t *TCP) link(from, to fabric.NodeID) (*peerLink, error) {
 	return l, nil
 }
 
-// dial opens a connection to the node's current listen address, bounded
-// by the configured dial timeout.
+// dial opens a connection to the node's current listen address (locally
+// registered nodes win over static remote routes), bounded by the
+// configured dial timeout.
 func (t *TCP) dial(to fabric.NodeID) (net.Conn, error) {
 	t.lmu.Lock()
 	addr, ok := t.addrs[to]
 	t.lmu.Unlock()
+	if !ok {
+		addr, ok = t.remotes[to]
+	}
 	if !ok {
 		return nil, ErrUnknownNode
 	}

@@ -1,0 +1,299 @@
+package protocol
+
+// Wire vocabulary for the multi-process deployment (internal/distrib):
+// the signed provisioning bundle a cicero-node process boots from, the
+// hello/snapshot handshake between node processes and the supervising
+// driver, and the driver's workload-control messages. The bundle carries
+// threshold-key material (group key, BLS share), so it gets a custom
+// encoding like MsgConfig; everything else is plain JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"reflect"
+
+	"cicero/internal/fabric"
+	"cicero/internal/openflow"
+	"cicero/internal/tcrypto/bls"
+	"cicero/internal/tcrypto/pki"
+)
+
+// WireGraphNode is one topology node in a bundle's explicit graph.
+type WireGraphNode struct {
+	ID   string `json:"id"`
+	Kind int    `json:"kind"`
+	DC   int    `json:"dc"`
+	Pod  int    `json:"pod"`
+	Rack int    `json:"rack"`
+}
+
+// WireGraphLink is one undirected topology link in a bundle's graph.
+type WireGraphLink struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	LatencyNS int64   `json:"latency_ns"`
+	Gbps      float64 `json:"gbps"`
+}
+
+// Node roles a bundle can provision.
+const (
+	RoleController = "controller"
+	RoleSwitch     = "switch"
+)
+
+// NodeBundle is the complete provisioning for one node of a distributed
+// deployment: identity key seed, the PKI directory, threshold material,
+// membership, and the data-plane topology. The deployment planner signs
+// the encoded bundle with the deployment key; cicero-node refuses to
+// boot from a bundle whose signature does not verify against its trust
+// anchor.
+type NodeBundle struct {
+	// Role is RoleController or RoleSwitch.
+	Role string
+	// ID is the node's fabric/PKI identity.
+	ID string
+	// Domain and Slot locate a controller (slot indexes Members).
+	Domain int
+	Slot   int
+	// Driver is the supervising driver's node id (hello/snapshot target).
+	Driver string
+	// Members lists the domain's controllers; Switches its data plane.
+	Members  []pki.Identity
+	Switches []string
+	// PeerDomains maps every domain to its controllers.
+	PeerDomains map[int][]pki.Identity
+	// Quorum is the threshold t; Aggregator the designated aggregator
+	// ("" in switch-aggregation mode).
+	Quorum     int
+	Aggregator pki.Identity
+	// KeySeed is the node's Ed25519 private-key seed.
+	KeySeed []byte
+	// Directory maps every identity to its Ed25519 public key.
+	Directory map[pki.Identity][]byte
+	// GroupKey and Share are the domain's threshold material (Share only
+	// for controllers).
+	GroupKey *bls.GroupKey
+	Share    bls.KeyShare
+	// Bootstrap marks the domain's initial broadcast leader.
+	Bootstrap bool
+	// BatchSize and BatchDelayNS configure batched ordering; timeouts in
+	// nanoseconds so the bundle stays a plain byte-stable encoding.
+	BatchSize           int
+	BatchDelayNS        int64
+	ViewChangeTimeoutNS int64
+	// GraphNodes and GraphLinks serialize the data-plane topology.
+	GraphNodes []WireGraphNode
+	GraphLinks []WireGraphLink
+}
+
+// MsgNodeHello announces a booted (or rebooted) node process to the
+// driver: the address its fresh listener bound, its boot epoch, and its
+// OS process id.
+type MsgNodeHello struct {
+	ID        string
+	Addr      string
+	BootEpoch uint32
+	PID       int
+}
+
+// MsgNodeQuery asks a node process for a state snapshot; the nonce pairs
+// the reply with the request.
+type MsgNodeQuery struct {
+	Nonce uint64
+}
+
+// SnapshotRecord is one audit-ledger record in digest form: enough for
+// cross-process prefix comparison and the no-forged-rule check without
+// shipping canonical payloads.
+type SnapshotRecord struct {
+	Seq     uint64
+	Kind    string
+	Subject string
+	// Digest is SHA-256 of the record's canonical bytes.
+	Digest []byte
+}
+
+// SnapshotApply is one switch apply decision (valid or rejected) with
+// the digest of the canonical update bytes it committed to.
+type SnapshotApply struct {
+	Origin string
+	Seq    uint64
+	Phase  uint64
+	Digest []byte
+	Valid  bool
+}
+
+// MsgNodeSnapshot is a node process's state snapshot, sent to the driver
+// in reply to MsgNodeQuery. Controllers fill the ledger/broadcast
+// fields; switches the table/apply fields.
+type MsgNodeSnapshot struct {
+	Nonce uint64
+	ID    string
+	Role  string
+
+	// Controller state.
+	View          uint64
+	LastDelivered uint64
+	Records       []SnapshotRecord
+	// ChainDigest is the audit hash chain's final hash — the
+	// order-sensitive commitment; two processes share it only when their
+	// ledgers are byte- and order-identical.
+	ChainDigest []byte
+	// ContentDigest is the order-insensitive ledger commitment
+	// (audit.ContentDigest): concurrent flows reach the atomic broadcast
+	// in timing-dependent interleavings of event and update records, so
+	// cross-process agreement at convergence is "same decisions, any
+	// order" — this digest must be identical on every honest controller.
+	ContentDigest []byte
+	Recovering    bool
+	Recovered     bool
+
+	// Switch state.
+	Rules           []openflow.Rule
+	Applies         []SnapshotApply
+	UpdatesApplied  uint64
+	UpdatesRejected uint64
+}
+
+// MsgInjectFlow asks an ingress switch process to simulate a packet
+// arrival for (Src, Dst); the process replies with MsgFlowDone once the
+// resulting rule is installed.
+type MsgInjectFlow struct {
+	FlowID uint64
+	Src    string
+	Dst    string
+}
+
+// MsgFlowDone reports a flow's rule installed at the ingress switch.
+type MsgFlowDone struct {
+	FlowID uint64
+	Switch string
+}
+
+// Nudge operations (MsgNudge.Op).
+const (
+	// NudgeResendEvents makes a switch retransmit its unconfirmed events.
+	NudgeResendEvents = "resend-events"
+	// NudgeRedispatch makes a controller redispatch unacked updates.
+	NudgeRedispatch = "redispatch"
+	// NudgeResync makes a switch request a full table resync.
+	NudgeResync = "resync"
+	// NudgeRecover makes a controller start peer state transfer (the
+	// crash-recovery path) without having crashed: the rescue for a
+	// replica whose broadcast wedged below a delivery gap — a partition
+	// window can swallow the prepares for a sequence its peers then
+	// deliver and garbage-collect, and sequential delivery blocks there
+	// forever while the quorum moves on.
+	NudgeRecover = "recover"
+)
+
+// MsgNudge is a driver liveness nudge, mirroring the in-process drain
+// helpers the chaos campaigns use.
+type MsgNudge struct {
+	Op string
+}
+
+// registerDistrib wires the distributed-deployment vocabulary into the
+// codec (called from NewWireCodec).
+func registerDistrib(c *WireCodec) {
+	c.register(reflect.TypeOf(NodeBundle{}), "node-bundle", encodeNodeBundle, decodeNodeBundle)
+	registerJSON[MsgNodeHello](c, "node-hello")
+	registerJSON[MsgNodeQuery](c, "node-query")
+	registerJSON[MsgNodeSnapshot](c, "node-snapshot")
+	registerJSON[MsgInjectFlow](c, "inject-flow")
+	registerJSON[MsgFlowDone](c, "flow-done")
+	registerJSON[MsgNudge](c, "node-nudge")
+}
+
+// wireNodeBundle mirrors NodeBundle with the crypto fields in explicit
+// byte form.
+type wireNodeBundle struct {
+	Role                string                  `json:"role"`
+	ID                  string                  `json:"id"`
+	Domain              int                     `json:"domain"`
+	Slot                int                     `json:"slot"`
+	Driver              string                  `json:"driver,omitempty"`
+	Members             []pki.Identity          `json:"members,omitempty"`
+	Switches            []string                `json:"switches,omitempty"`
+	PeerDomains         map[int][]pki.Identity  `json:"peer_domains,omitempty"`
+	Quorum              int                     `json:"quorum"`
+	Aggregator          pki.Identity            `json:"aggregator,omitempty"`
+	KeySeed             []byte                  `json:"key_seed"`
+	Directory           map[pki.Identity][]byte `json:"directory,omitempty"`
+	GroupKey            *wireGroupKey           `json:"group_key,omitempty"`
+	ShareIndex          uint32                  `json:"share_index,omitempty"`
+	ShareScalar         []byte                  `json:"share_scalar,omitempty"`
+	Bootstrap           bool                    `json:"bootstrap,omitempty"`
+	BatchSize           int                     `json:"batch_size,omitempty"`
+	BatchDelayNS        int64                   `json:"batch_delay_ns,omitempty"`
+	ViewChangeTimeoutNS int64                   `json:"view_change_timeout_ns,omitempty"`
+	GraphNodes          []WireGraphNode         `json:"graph_nodes,omitempty"`
+	GraphLinks          []WireGraphLink         `json:"graph_links,omitempty"`
+}
+
+func encodeNodeBundle(c *WireCodec, msg fabric.Message) (json.RawMessage, error) {
+	m := msg.(NodeBundle)
+	w := wireNodeBundle{
+		Role:                m.Role,
+		ID:                  m.ID,
+		Domain:              m.Domain,
+		Slot:                m.Slot,
+		Driver:              m.Driver,
+		Members:             m.Members,
+		Switches:            m.Switches,
+		PeerDomains:         m.PeerDomains,
+		Quorum:              m.Quorum,
+		Aggregator:          m.Aggregator,
+		KeySeed:             m.KeySeed,
+		Directory:           m.Directory,
+		GroupKey:            c.groupKeyWire(m.GroupKey),
+		ShareIndex:          m.Share.Index,
+		Bootstrap:           m.Bootstrap,
+		BatchSize:           m.BatchSize,
+		BatchDelayNS:        m.BatchDelayNS,
+		ViewChangeTimeoutNS: m.ViewChangeTimeoutNS,
+		GraphNodes:          m.GraphNodes,
+		GraphLinks:          m.GraphLinks,
+	}
+	if m.Share.Scalar != nil {
+		w.ShareScalar = m.Share.Scalar.Bytes()
+	}
+	return json.Marshal(w)
+}
+
+func decodeNodeBundle(c *WireCodec, raw json.RawMessage, _ int) (fabric.Message, error) {
+	var w wireNodeBundle
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, err
+	}
+	gk, err := c.groupKeyFromWire(w.GroupKey)
+	if err != nil {
+		return nil, fmt.Errorf("node bundle group key: %w", err)
+	}
+	out := NodeBundle{
+		Role:                w.Role,
+		ID:                  w.ID,
+		Domain:              w.Domain,
+		Slot:                w.Slot,
+		Driver:              w.Driver,
+		Members:             w.Members,
+		Switches:            w.Switches,
+		PeerDomains:         w.PeerDomains,
+		Quorum:              w.Quorum,
+		Aggregator:          w.Aggregator,
+		KeySeed:             w.KeySeed,
+		Directory:           w.Directory,
+		GroupKey:            gk,
+		Bootstrap:           w.Bootstrap,
+		BatchSize:           w.BatchSize,
+		BatchDelayNS:        w.BatchDelayNS,
+		ViewChangeTimeoutNS: w.ViewChangeTimeoutNS,
+		GraphNodes:          w.GraphNodes,
+		GraphLinks:          w.GraphLinks,
+	}
+	if w.ShareScalar != nil {
+		out.Share = bls.KeyShare{Index: w.ShareIndex, Scalar: new(big.Int).SetBytes(w.ShareScalar)}
+	}
+	return out, nil
+}

@@ -99,6 +99,9 @@ func NewWireCodec(params *pairing.Params) *WireCodec {
 	registerJSON[openflow.PacketIn](c, "packet-in")
 	registerJSON[openflow.PacketOut](c, "packet-out")
 	registerJSON[openflow.RoleRequest](c, "role-request")
+	// Multi-process deployment vocabulary (bundles, hello/snapshot,
+	// workload control) — see distrib.go.
+	registerDistrib(c)
 	return c
 }
 

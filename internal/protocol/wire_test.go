@@ -26,7 +26,7 @@ import (
 func wireSamples(t testing.TB) []fabric.Message {
 	t.Helper()
 	scheme := bls.NewScheme(pairing.Fast254())
-	gk, _, err := dkg.Run(scheme, rand.Reader, 2, 4)
+	gk, shares, err := dkg.Run(scheme, rand.Reader, 2, 4)
 	if err != nil {
 		t.Fatalf("dkg: %v", err)
 	}
@@ -92,6 +92,41 @@ func wireSamples(t testing.TB) []fabric.Message {
 		openflow.PacketIn{ID: id, Switch: "s1", Src: "h1", Dst: "h2", SizeBytes: 1500},
 		openflow.PacketOut{ID: id, Switch: "s1", Src: "h1", Dst: "h2", Payload: "attack"},
 		openflow.RoleRequest{ID: id, Role: openflow.RoleMaster},
+		NodeBundle{
+			Role: RoleController, ID: string(members[1]), Domain: 0, Slot: 1,
+			Driver:      "distrib/driver",
+			Members:     members,
+			Switches:    []string{"s1", "s2"},
+			PeerDomains: map[int][]pki.Identity{0: members},
+			Quorum:      2,
+			KeySeed:     bytes.Repeat([]byte{7}, 32),
+			Directory:   map[pki.Identity][]byte{"s1": {1, 2}, members[0]: {3, 4}},
+			GroupKey:    gk,
+			Share:       shares[1],
+			Bootstrap:   false,
+			BatchSize:   4, BatchDelayNS: 2e6, ViewChangeTimeoutNS: 5e8,
+			GraphNodes: []WireGraphNode{{ID: "s1", Kind: 1, DC: -1, Pod: -1, Rack: -1}, {ID: "h1", Kind: 0, DC: -1, Pod: -1, Rack: -1}},
+			GraphLinks: []WireGraphLink{{A: "h1", B: "s1", LatencyNS: 1e6, Gbps: 10}},
+		},
+		MsgNodeHello{ID: "s1", Addr: "127.0.0.1:45001", BootEpoch: 2, PID: 4242},
+		MsgNodeQuery{Nonce: 99},
+		MsgNodeSnapshot{
+			Nonce: 99, ID: string(members[1]), Role: RoleController,
+			View: 1, LastDelivered: 17,
+			Records: []SnapshotRecord{
+				{Seq: 1, Kind: "event", Subject: "h1#7", Digest: bytes.Repeat([]byte{2}, 32)},
+				{Seq: 2, Kind: "update", Subject: "h1#7", Digest: bytes.Repeat([]byte{3}, 32)},
+			},
+			ChainDigest:    bytes.Repeat([]byte{4}, 32),
+			ContentDigest:  bytes.Repeat([]byte{6}, 32),
+			Recovered:      true,
+			Rules:          []openflow.Rule{mods[0].Rule},
+			Applies:        []SnapshotApply{{Origin: "h1", Seq: 7, Phase: 3, Digest: bytes.Repeat([]byte{5}, 32), Valid: true}},
+			UpdatesApplied: 3, UpdatesRejected: 1,
+		},
+		MsgInjectFlow{FlowID: 12, Src: "h1", Dst: "h2"},
+		MsgFlowDone{FlowID: 12, Switch: "s1"},
+		MsgNudge{Op: NudgeRedispatch},
 	}
 }
 

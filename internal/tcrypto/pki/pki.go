@@ -43,6 +43,23 @@ func NewKeyPair(rand io.Reader, id Identity) (*KeyPair, error) {
 	return &KeyPair{ID: id, Public: pub, private: priv}, nil
 }
 
+// Seed exports the private key's 32-byte seed, the portable form a
+// deployment planner packs into a node's signed provisioning bundle so a
+// separate OS process can reconstruct the identical key pair.
+func (k *KeyPair) Seed() []byte {
+	return append([]byte(nil), k.private.Seed()...)
+}
+
+// KeyPairFromSeed rebuilds a key pair from an exported seed.
+func KeyPairFromSeed(id Identity, seed []byte) (*KeyPair, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("pki: seed for %q: want %d bytes, got %d", id, ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	return &KeyPair{ID: id, Public: pub, private: priv}, nil
+}
+
 // Sign signs msg with the participant's private key.
 func (k *KeyPair) Sign(msg []byte) []byte {
 	return ed25519.Sign(k.private, msg)
