@@ -37,7 +37,7 @@ func main() {
 
 func run() int {
 	var (
-		profileName = flag.String("profile", "mixed", "links | crash | partitions | byzantine | mixed")
+		profileName = flag.String("profile", "mixed", "links | crash | partitions | byzantine | metadata | mixed")
 		seeds       = flag.Int("seeds", 50, "number of seeds (starting at -seed)")
 		seedStart   = flag.Int64("seed", 1, "first seed")
 		flows       = flag.Int("flows", 0, "flows per seed (0 = profile default)")
@@ -74,6 +74,13 @@ func run() int {
 		p.Controllers = *controllers
 	}
 	p.CanarySkipVerify = *canary
+	if p.Metadata {
+		// The metadata profile's canary is the store-verification bypass
+		// (planted rollback/forgery/freeze must be caught), not the
+		// rule-check skip.
+		p.CanarySkipVerify = false
+		p.CanaryMetaBypass = *canary
+	}
 	p.BatchSize = *batch
 	p.BatchDelay = *batchDelay
 
@@ -199,7 +206,9 @@ func runLive(p chaos.Profile, opt chaos.LiveOptions, seedStart int64, seeds int,
 		}
 		for _, v := range res.Violations {
 			fmt.Printf("  %s\n", v)
-			if v.Invariant == chaos.InvNoForgedRule || v.Invariant == chaos.InvBatchProof {
+			switch v.Invariant {
+			case chaos.InvNoForgedRule, chaos.InvBatchProof,
+				chaos.InvMetaRollback, chaos.InvMetaForged, chaos.InvStalePolicy:
 				caught++
 			}
 		}
@@ -211,7 +220,7 @@ func runLive(p chaos.Profile, opt chaos.LiveOptions, seedStart int64, seeds int,
 			fmt.Println("CANARY MISSED: verification bypass was not detected on the live backend")
 			return 1
 		}
-		fmt.Printf("canary caught: %d forged-rule violations\n", caught)
+		fmt.Printf("canary caught: %d violations\n", caught)
 		return 0
 	}
 	if violations > 0 || errs > 0 {

@@ -4,9 +4,17 @@
 // membership change (resharing) that rotates every share while keeping
 // the public key — the exact lifecycle Cicero's control plane runs.
 //
+// It also mints and checks the deployment's root of trust: -genesis
+// writes a signed root-metadata genesis file (the TUF-style trust anchor
+// internal/metarepo stores bootstrap from — the only thing a
+// provisioning bundle needs to carry), and -verify-genesis validates one
+// from nothing but its own contents.
+//
 // Usage:
 //
 //	cicero-keygen [-n 4] [-grow 5] [-params fast|std]
+//	cicero-keygen -genesis genesis.json [-n 4] [-genesis-ttl 720h]
+//	cicero-keygen -verify-genesis genesis.json [-params fast|std]
 package main
 
 import (
@@ -17,9 +25,11 @@ import (
 	"time"
 
 	"cicero/internal/controlplane"
+	"cicero/internal/metarepo"
 	"cicero/internal/tcrypto/bls"
 	"cicero/internal/tcrypto/dkg"
 	"cicero/internal/tcrypto/pairing"
+	"cicero/internal/tcrypto/pki"
 )
 
 func main() {
@@ -28,9 +38,12 @@ func main() {
 
 func run() int {
 	var (
-		n      = flag.Int("n", 4, "initial control-plane size (>= 4)")
-		grow   = flag.Int("grow", 5, "control-plane size after the membership change")
-		params = flag.String("params", "fast", "pairing parameters: fast (254-bit) or std (512-bit)")
+		n          = flag.Int("n", 4, "initial control-plane size (>= 4)")
+		grow       = flag.Int("grow", 5, "control-plane size after the membership change")
+		params     = flag.String("params", "fast", "pairing parameters: fast (254-bit) or std (512-bit)")
+		genesis    = flag.String("genesis", "", "write a signed root-metadata genesis file to this path")
+		genesisTTL = flag.Duration("genesis-ttl", 30*24*time.Hour, "root document lifetime for -genesis")
+		verifyGen  = flag.String("verify-genesis", "", "verify a root-metadata genesis file and exit")
 	)
 	flag.Parse()
 	if *n < 4 || *grow < 4 {
@@ -49,6 +62,10 @@ func run() int {
 	}
 	scheme := bls.NewScheme(p)
 	t0 := controlplane.CiceroQuorum(*n)
+
+	if *verifyGen != "" {
+		return verifyGenesis(scheme, *verifyGen)
+	}
 
 	start := time.Now()
 	gk, shares, err := dkg.Run(scheme, rand.Reader, t0, *n)
@@ -71,6 +88,12 @@ func run() int {
 	}
 	fmt.Printf("threshold signature from %d/%d shares verifies: %v\n",
 		t0, *n, scheme.Verify(gk.PK, msg, sig))
+
+	if *genesis != "" {
+		if rc := writeGenesis(scheme, gk, shares[:t0], *n, t0, *genesisTTL, *genesis); rc != 0 {
+			return rc
+		}
+	}
 
 	tNew := controlplane.CiceroQuorum(*grow)
 	start = time.Now()
@@ -100,6 +123,80 @@ func run() int {
 	staleSig, err := scheme.Combine(newGK, stale)
 	if err == nil {
 		fmt.Printf("stale-share quorum rejected: %v\n", !scheme.Verify(gk.PK, msg, staleSig))
+	}
+	return 0
+}
+
+// writeGenesis mints the deployment's root of trust: per-controller
+// Ed25519 role keys delegated by a version-1 root document, threshold-
+// signed with the DKG group key, serialized with the public key material
+// needed to verify it from nothing. The file round-trips through the
+// verifier before success is reported.
+func writeGenesis(scheme *bls.Scheme, gk *bls.GroupKey, shares []bls.KeyShare, n, quorum int, ttl time.Duration, path string) int {
+	controllers := make([]*pki.KeyPair, n)
+	for i := range controllers {
+		kp, err := pki.NewKeyPair(rand.Reader, pki.Identity(fmt.Sprintf("dom0/ctl/%d", i+1)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cicero-keygen: role key: %v\n", err)
+			return 1
+		}
+		controllers[i] = kp
+	}
+	root := metarepo.GenesisRoot(quorum, controllers, time.Now().UnixNano(), int64(ttl))
+	env, err := metarepo.SignRootDirect(scheme, gk, shares, root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-keygen: sign genesis root: %v\n", err)
+		return 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-keygen: %v\n", err)
+		return 1
+	}
+	if err := metarepo.EncodeGenesis(f, scheme, gk, env); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "cicero-keygen: encode genesis: %v\n", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-keygen: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote genesis root v%d (quorum %d, %d role keys, expires %s) to %s\n",
+		root.Version, quorum, n, time.Unix(0, root.ExpiresNS).Format(time.RFC3339), path)
+	return verifyGenesis(scheme, path)
+}
+
+// verifyGenesis validates a genesis file from nothing but its contents:
+// the group key reconstructs from its public material and a fresh trust
+// store must accept the root envelope under it.
+func verifyGenesis(scheme *bls.Scheme, path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-keygen: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	gk, env, err := metarepo.DecodeGenesis(f, scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-keygen: %v\n", err)
+		return 1
+	}
+	st := metarepo.NewStore(scheme, gk.PK, func() int64 { return time.Now().UnixNano() })
+	if err := st.Apply(env); err != nil {
+		fmt.Fprintf(os.Stderr, "cicero-keygen: genesis root rejected: %v\n", err)
+		return 1
+	}
+	root := st.Root()
+	if root == nil {
+		fmt.Fprintln(os.Stderr, "cicero-keygen: store adopted no root")
+		return 1
+	}
+	fmt.Printf("genesis verifies: root v%d, t=%d/%d, expires %s\n",
+		root.Version, gk.T, gk.N, time.Unix(0, root.ExpiresNS).Format(time.RFC3339))
+	for _, role := range []string{"targets", "snapshot", "timestamp"} {
+		d := root.Roles[role]
+		fmt.Printf("  role %-9s threshold %d over %d keys\n", role, d.Threshold, len(d.Keys))
 	}
 	return 0
 }

@@ -691,6 +691,28 @@ func (r *Replica) resetUndelivered() {
 // LastDelivered returns the highest contiguously delivered sequence.
 func (r *Replica) LastDelivered() uint64 { return r.lastDelivered }
 
+// GapStalled returns how many committed-but-undeliverable slots sit
+// above the delivery horizon while the slot directly at the horizon
+// cannot commit. Delivery is contiguous, so this is the signature of a
+// wedged replica: the group decided slots this replica can see, but the
+// agreement traffic for the gap slot was lost and — once peers
+// garbage-collect past it — will never be retransmitted. A zero return
+// means the horizon either has nothing above it or will advance on its
+// own.
+func (r *Replica) GapStalled() int {
+	next := r.lastDelivered + 1
+	if s, ok := r.slots[next]; ok && s.committed {
+		return 0 // the horizon is about to move
+	}
+	stalled := 0
+	for seq, s := range r.slots {
+		if seq > next && s.committed && !s.delivered {
+			stalled++
+		}
+	}
+	return stalled
+}
+
 // SyncTo fast-forwards a freshly restarted replica to externally learned
 // coordinates: the group's view and the last sequence the caller has
 // already applied through state transfer. It is monotonic — stale calls

@@ -81,6 +81,16 @@ type Profile struct {
 	// PACKET_OUTs at switches.
 	Byzantine bool
 
+	// Metadata enables the signed-metadata plane and its campaign: policy
+	// publications under load, a mid-run membership change whose reshare
+	// rotates the root of trust, and a Byzantine metadata attacker sourced
+	// from the retired controller (replayed old versions, withheld
+	// timestamps, spliced snapshots, forged role keys, and a retired-share
+	// signature against a live rotation). The stale-policy, store-rollback
+	// and store-forgery invariants sweep every store. Needs >= 5
+	// controllers for the mid-run removal to stay above Cicero's floor.
+	Metadata bool
+
 	// CryptoReal runs real BLS/Ed25519 end to end. Forced on by Byzantine
 	// faults, payload corruption, and the canary (they are only meaningful
 	// against real verification).
@@ -88,6 +98,11 @@ type Profile struct {
 	// CanarySkipVerify disables signature verification at every switch —
 	// the built-in mutation the no-forged-rule invariant must catch.
 	CanarySkipVerify bool
+	// CanaryMetaBypass disables metadata verification at every switch
+	// store — the built-in mutation the metadata invariants must catch:
+	// the attacker's rollbacks, freezes, splices and forged keys then
+	// adopt, and the stale-policy / meta-store sweeps must fire.
+	CanaryMetaBypass bool
 
 	// Budgets.
 	SimBudget     time.Duration
@@ -137,6 +152,9 @@ func (p Profile) Defaulted() Profile {
 	if p.Byzantine || p.CanarySkipVerify || p.Link.CorruptProb > 0 {
 		p.CryptoReal = true
 	}
+	if p.Metadata && p.Controllers < 5 {
+		p.Controllers = 5
+	}
 	return p
 }
 
@@ -161,6 +179,14 @@ func PartitionsProfile() Profile {
 // ByzantineProfile exercises a Byzantine controller against real crypto.
 func ByzantineProfile() Profile {
 	return Profile{Name: "byzantine", Byzantine: true, CryptoReal: true}
+}
+
+// MetadataProfile exercises the signed-metadata plane against its
+// Byzantine attacker: rollback replays, withheld timestamps, spliced
+// snapshots, forged role keys, and retired-share signatures across a
+// mid-run membership change.
+func MetadataProfile() Profile {
+	return Profile{Name: "metadata", Metadata: true, Controllers: 5}
 }
 
 // MixedProfile combines every fault family (the acceptance campaign).
@@ -190,10 +216,12 @@ func ProfileByName(name string) (Profile, error) {
 		return PartitionsProfile(), nil
 	case "byzantine":
 		return ByzantineProfile(), nil
+	case "metadata":
+		return MetadataProfile(), nil
 	case "mixed":
 		return MixedProfile(), nil
 	}
-	return Profile{}, fmt.Errorf("chaos: unknown profile %q (want links, crash, partitions, byzantine, mixed)", name)
+	return Profile{}, fmt.Errorf("chaos: unknown profile %q (want links, crash, partitions, byzantine, metadata, mixed)", name)
 }
 
 // SeedResult reports one seed's outcome.
@@ -212,9 +240,21 @@ type SeedResult struct {
 	// Aggregate switch counters.
 	UpdatesApplied  uint64
 	UpdatesRejected uint64
-	SimEvents       uint64
-	SimEnd          simnet.Time
-	Err             string
+	// Metadata-plane counters (zero unless the profile enables it):
+	// completed publications and refreshes at the leader, retired shares
+	// the root collector rejected, classified store rejections summed over
+	// every controller and switch store, and config pushes the switches'
+	// metadata gate refused.
+	MetaPublished     uint64
+	MetaRefreshes     uint64
+	MetaReshares      uint64
+	MetaRootVersion   uint64
+	MetaStaleShares   uint64
+	MetaRejects       map[string]uint64
+	MetaConfigRejects uint64
+	SimEvents         uint64
+	SimEnd            simnet.Time
+	Err               string
 	// Trace is the full retained event trace (campaigns drop it unless
 	// asked to keep; replay keeps it).
 	Trace *Trace
@@ -290,6 +330,16 @@ func RunSeed(p Profile, seed int64) SeedResult {
 		SwitchBatchHook:      batchHook,
 		BatchSize:            p.BatchSize,
 		BatchDelay:           p.BatchDelay,
+		Metadata:             p.Metadata,
+		MetadataTTL:          metaDocumentTTL,
+		MetadataTimestampTTL: metaTimestampTTL,
+		MetadataRefresh:      metaRefreshEvery,
+		// Refresh to the end of the budget so freshness is a live
+		// obligation for the whole run. The bypass canary withholds
+		// refreshes for the back half instead (the freeze attack): the
+		// bypassed stores keep claiming freshness after their proofs
+		// expire, which the stale-policy sweep must catch.
+		MetadataRefreshHorizon: metaRefreshHorizon(p),
 	})
 	if err != nil {
 		res.Err = err.Error()
@@ -320,6 +370,14 @@ func RunSeed(p Profile, seed int64) SeedResult {
 		}
 		r.tr.Add(0, "canary", "switch verification bypassed on all switches")
 	}
+	if p.CanaryMetaBypass {
+		for _, id := range r.switches {
+			if st := n.Switches[id].MetaStore(); st != nil {
+				st.SetVerifyBypass(true)
+			}
+		}
+		r.tr.Add(0, "canary", "metadata verification bypassed on all switch stores")
+	}
 
 	// Draw the deterministic timeline before the run starts: flows first,
 	// then fault schedules, then Byzantine injections — a fixed consumption
@@ -328,6 +386,7 @@ func RunSeed(p Profile, seed int64) SeedResult {
 	r.scheduleCrashes()
 	r.schedulePartitions()
 	r.scheduleByzantine()
+	r.scheduleMetadata()
 
 	r.inj = newInjector(r)
 	n.Net.SetFilter(r.inj.filter)
@@ -337,6 +396,7 @@ func RunSeed(p Profile, seed int64) SeedResult {
 	tick = func() {
 		r.ck.checkDataPlane()
 		r.ck.checkAgreement()
+		r.ck.checkMetadata()
 		if n.Sim.Now()+p.CheckInterval <= p.SimBudget {
 			n.Sim.Schedule(p.CheckInterval, tick)
 		}
@@ -349,6 +409,7 @@ func RunSeed(p Profile, seed int64) SeedResult {
 	// Final sweep over the quiesced (or budget-bounded) state.
 	r.ck.checkDataPlane()
 	r.ck.checkAgreement()
+	r.ck.checkMetadata()
 
 	res.TraceHash = r.tr.Hash()
 	res.Violations = r.ck.violations
@@ -360,6 +421,33 @@ func RunSeed(p Profile, seed int64) SeedResult {
 		sw := n.Switches[id]
 		res.UpdatesApplied += sw.UpdatesApplied
 		res.UpdatesRejected += sw.UpdatesRejected
+	}
+	if p.Metadata {
+		res.MetaRejects = make(map[string]uint64)
+		sumRejects := func(m map[string]int) {
+			for reason, count := range m {
+				res.MetaRejects[reason] += uint64(count)
+			}
+		}
+		for _, c := range n.Domains[0].Controllers {
+			res.MetaPublished += c.MetaPublished
+			res.MetaRefreshes += c.MetaRefreshes
+			res.MetaReshares += c.Reshares
+			res.MetaStaleShares += c.MetaStaleShares
+			if st := c.MetaStore(); st != nil {
+				sumRejects(st.Rejections())
+				if rt := st.Root(); rt != nil && rt.Version > res.MetaRootVersion {
+					res.MetaRootVersion = rt.Version
+				}
+			}
+		}
+		for _, id := range r.switches {
+			sw := n.Switches[id]
+			res.MetaConfigRejects += sw.MetaConfigRejects
+			if st := sw.MetaStore(); st != nil {
+				sumRejects(st.Rejections())
+			}
+		}
 	}
 	res.SimEvents = n.Sim.Processed()
 	res.SimEnd = n.Sim.Now()

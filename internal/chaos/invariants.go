@@ -68,6 +68,10 @@ type checker struct {
 	seen       map[string]bool
 	violations []Violation
 
+	// metaSeen tracks each switch store's adopted version vector across
+	// sweeps (metadata rollback detection).
+	metaSeen map[string]metaVersions
+
 	hosts map[string]bool
 }
 
@@ -77,6 +81,7 @@ func newChecker(r *run) *checker {
 		legit:     make(map[[32]byte]bool),
 		ledgerPos: make(map[simnet.NodeID]int),
 		seen:      make(map[string]bool),
+		metaSeen:  make(map[string]metaVersions),
 		hosts:     make(map[string]bool, len(r.hosts)),
 	}
 	for _, h := range r.hosts {

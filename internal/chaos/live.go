@@ -48,6 +48,7 @@ import (
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
 	"cicero/internal/tcrypto/merkle"
+	"cicero/internal/tcrypto/pki"
 	"cicero/internal/topology"
 )
 
@@ -163,9 +164,18 @@ type LiveResult struct {
 
 	UpdatesApplied  uint64
 	UpdatesRejected uint64
-	Wall            time.Duration
-	Err             string
-	Trace           *Trace
+
+	// Metadata-plane outcome (zero unless the profile enables it).
+	MetaPublished     uint64
+	MetaReshares      uint64
+	MetaRootVersion   uint64
+	MetaStaleShares   uint64
+	MetaRejects       map[string]uint64
+	MetaConfigRejects uint64
+
+	Wall  time.Duration
+	Err   string
+	Trace *Trace
 }
 
 // liveFlowSpec is one drawn workload entry.
@@ -408,6 +418,11 @@ type liveRun struct {
 
 	seen       map[string]bool
 	violations []Violation
+
+	// Metadata campaign state (only set when the profile enables it).
+	metaOldSet   []protocol.MetaEnvelope
+	metaForge    *pki.KeyPair
+	metaAttacker fabric.NodeID
 }
 
 // report records a deduplicated convergence violation.
@@ -474,6 +489,24 @@ func liveCoreConfig(p Profile, g *topology.Graph, fab fabric.Fabric, seed int64)
 	if fab == nil {
 		cfg.Jitter = 0.1
 		cfg.ViewChangeTimeout = p.ViewChangeTimeout
+	}
+	// The metadata plane only runs on the live deployment (the fault-free
+	// reference compares crypto-independent table digests). Refresh
+	// forever normally; the bypass canary disables the refresh loop
+	// entirely — the withholding freeze — so bypassed stores end up
+	// claiming freshness on expired proofs.
+	if p.Metadata && fab != nil {
+		cfg.Metadata = true
+		cfg.MetadataTTL = liveMetaDocumentTTL
+		cfg.MetadataTimestampTTL = liveMetaTimestampTTL
+		cfg.MetadataRefresh = liveMetaRefreshEvery
+		cfg.MetadataRefreshHorizon = -1
+		if p.CanaryMetaBypass {
+			cfg.MetadataRefreshHorizon = 0
+			// Short-lived proofs so the freeze is observable within the
+			// run: the last mint expires before the post-drain sweep.
+			cfg.MetadataTimestampTTL = liveMetaCanaryTTL
+		}
 	}
 	return cfg
 }
@@ -606,6 +639,20 @@ func RunLiveSeed(p Profile, opt LiveOptions) (res LiveResult) {
 		}
 		lr.rec.trace("canary", "switch verification bypassed on all switches")
 	}
+	if p.CanaryMetaBypass {
+		for _, id := range lr.switches {
+			sw := net.Switches[id]
+			if err := lr.invokeWait(fabric.NodeID(id), func() {
+				if st := sw.MetaStore(); st != nil {
+					st.SetVerifyBypass(true)
+				}
+			}); err != nil {
+				res.Err = err.Error()
+				return res
+			}
+		}
+		lr.rec.trace("canary", "metadata verification bypassed on all switch stores")
+	}
 
 	// Install the live injector before any traffic, then lay out the
 	// wall-clock timeline: flows, crash windows, partitions, Byzantine
@@ -627,6 +674,7 @@ func RunLiveSeed(p Profile, opt LiveOptions) (res LiveResult) {
 	lr.scheduleLiveCrashes()
 	lr.scheduleLivePartitions()
 	lr.scheduleLiveByzantine()
+	lr.scheduleLiveMetadata()
 	lr.runTimeline()
 
 	// Every fault is now healed and every crashed node restarted: drain.
@@ -638,6 +686,7 @@ func RunLiveSeed(p Profile, opt LiveOptions) (res LiveResult) {
 	}
 
 	lr.converge(refDigest, &res)
+	lr.finishLiveMetadata(&res)
 
 	res.FlowsTotal = len(lr.flows)
 	for _, f := range lr.flows {

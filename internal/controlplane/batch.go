@@ -141,7 +141,7 @@ func (c *Controller) signUpdateBatch(plans []scheduler.Plan) {
 	// entire layer exists for.
 	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
 	var shareBytes []byte
-	if c.cfg.CryptoReal {
+	if c.cfg.CryptoReal && c.cfg.Share.Scalar != nil {
 		share := c.cfg.Scheme.SignShare(c.cfg.Share, protocol.BatchBytes(c.phase, root[:]))
 		shareBytes = c.cfg.Scheme.Params.PointBytes(share.Point)
 	}
@@ -182,8 +182,8 @@ func (c *Controller) sendUpdateAuto(id openflow.MsgID, phase uint64, mods []open
 // switch count this controller toward the update's release quorum by
 // authenticated identity rather than by a self-declared share index.
 func (c *Controller) sendBatchUpdate(id openflow.MsgID, mods []openflow.FlowMod, ref *batchRef, resend bool) {
-	if len(mods) == 0 {
-		return
+	if len(mods) == 0 || c.cfg.Share.Scalar == nil {
+		return // a retired member holds no share to contribute
 	}
 	c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.Ed25519Sign)
 	var releaseSig []byte

@@ -14,6 +14,7 @@ package controlplane
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"cicero/internal/audit"
@@ -138,6 +139,10 @@ type Config struct {
 	// ordered anyway (zero: the bft default).
 	BatchDelay time.Duration
 
+	// Metadata, when non-nil, enables the TUF-style signed-metadata plane
+	// (ProtoCicero only; see metadata.go and internal/metarepo).
+	Metadata *MetadataConfig
+
 	// CrashRecovery marks a controller that replaces a crashed instance.
 	// It is born recovering: its amnesiac broadcast replica stays mute —
 	// neither voting nor proposing — until peer state transfer rebuilds
@@ -200,6 +205,13 @@ type Controller struct {
 	early       earlyReshare
 	earlyConfig []protocol.MsgConfigShare
 
+	// Metadata-plane state (see metadata.go); nil when disabled.
+	meta *metaState
+
+	// gapArmed is the frozen-horizon watchdog latch: set while a
+	// gap-stall timer is pending (see gapstall logic in recovery.go).
+	gapArmed bool
+
 	// Failure detector state.
 	lastSeen  map[pki.Identity]fabric.Time
 	suspected map[pki.Identity]bool
@@ -226,6 +238,14 @@ type Controller struct {
 	Reshares        uint64
 	Recoveries      uint64
 	BatchesSigned   uint64
+	// Metadata-plane counters.
+	MetaPublished   uint64 // sets assembled and distributed (leader)
+	MetaRefreshes   uint64 // timestamp refreshes minted (leader)
+	MetaStaleShares uint64 // root shares rejected by the collector
+	MetaSigRejects  uint64 // role signatures rejected by the collector
+	// GapRecoveries counts self-initiated recoveries triggered by the
+	// frozen-horizon watchdog (committed slots piling above a gap).
+	GapRecoveries uint64
 }
 
 // dispatchRecord is one signed update in the dispatch log.
@@ -284,6 +304,9 @@ func New(cfg Config) (*Controller, error) {
 	cfg.Net.Register(fabric.NodeID(cfg.ID), c)
 	if cfg.FailureDetector != nil && cfg.Protocol == ProtoCicero {
 		c.scheduleHeartbeat()
+	}
+	if err := c.initMetadata(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -438,6 +461,16 @@ func (c *Controller) HandleMessage(from fabric.NodeID, msg fabric.Message) {
 		c.handleRecoverState(m)
 	case protocol.MsgResyncRequest:
 		c.handleResyncRequest(m)
+	case protocol.MsgMeta:
+		c.handleMeta(m)
+	case protocol.MsgMetaSet:
+		c.handleMetaSet(m)
+	case protocol.MsgMetaRequest:
+		c.handleMetaRequest(m)
+	case protocol.MsgMetaShare:
+		c.handleMetaShare(m)
+	case protocol.MsgMetaSig:
+		c.handleMetaSig(m)
 	}
 }
 
@@ -464,6 +497,7 @@ func (c *Controller) handleBFT(from fabric.NodeID, m protocol.MsgBFT) {
 			return
 		}
 		c.replica.Handle(bft.ReplicaID(slot+1), m.Inner.(bft.Message))
+		c.checkGapStall()
 	case m.Phase > c.phase && c.change != nil:
 		c.change.futureBFT = append(c.change.futureBFT, bufferedBFT{from: from, msg: m})
 	}
@@ -625,6 +659,12 @@ func (c *Controller) processEvent(ev protocol.Event) {
 // returning the plan without releasing it into the engine (the batched
 // delivery path signs a whole batch of plans before any of them runs).
 func (c *Controller) planEvent(ev protocol.Event) (scheduler.Plan, bool) {
+	// Metadata publications ride policy-change events but never reach
+	// the routing app: they fan out into the signed-metadata plane.
+	if ev.Kind == protocol.EventPolicyChange && strings.HasPrefix(ev.Info, metaPolicyPrefix) {
+		c.onMetaPolicy(ev)
+		return nil, false
+	}
 	switch ev.Kind {
 	case protocol.EventMembershipInfo:
 		c.applyMembershipInfo(ev)
@@ -686,6 +726,11 @@ func (c *Controller) sendUpdate(id openflow.MsgID, phase uint64, mods []openflow
 		Resend:   resend,
 	}
 	if c.cfg.Protocol == ProtoCicero {
+		// A retired member holds no share (removal installs an empty
+		// one); nothing it could send would count toward a quorum.
+		if c.cfg.Share.Scalar == nil {
+			return
+		}
 		c.cfg.Net.Charge(fabric.NodeID(c.cfg.ID), c.cfg.Cost.BLSSignShare)
 		msg.ShareIndex = c.cfg.Share.Index
 		if c.cfg.CryptoReal {

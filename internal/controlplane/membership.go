@@ -44,6 +44,11 @@ type changeState struct {
 	subsGot    map[uint32]bool
 	myNewIndex uint32
 
+	// pendingSubs holds sub-shares that overtook their dealer's deal on
+	// the wire (per-message jitter reorders them); they replay once the
+	// deal arrives.
+	pendingSubs map[uint32][]protocol.MsgReshareSub
+
 	queued    []protocol.Event
 	futureBFT []bufferedBFT
 }
@@ -127,15 +132,16 @@ func (c *Controller) onMembershipDelivered(mc protocol.MembershipChange) {
 		}
 	}
 	st := &changeState{
-		op:         mc.Op,
-		subject:    mc.Controller,
-		newMembers: newMembers,
-		newPhase:   c.phase + 1,
-		tNew:       tNew,
-		dealerIDs:  dealerIDs,
-		dealerSet:  dealerSet,
-		dealsGot:   make(map[uint32]bool),
-		subsGot:    make(map[uint32]bool),
+		op:          mc.Op,
+		subject:     mc.Controller,
+		newMembers:  newMembers,
+		newPhase:    c.phase + 1,
+		tNew:        tNew,
+		dealerIDs:   dealerIDs,
+		dealerSet:   dealerSet,
+		dealsGot:    make(map[uint32]bool),
+		subsGot:     make(map[uint32]bool),
+		pendingSubs: make(map[uint32][]protocol.MsgReshareSub),
 	}
 	c.change = st
 
@@ -233,6 +239,13 @@ func (c *Controller) handleReshareDeal(m protocol.MsgReshareDeal) {
 		return // Byzantine dealer: its deal is ignored (complaint flow)
 	}
 	st.dealsGot[m.Deal.Dealer] = true
+	// Replay sub-shares that overtook this deal.
+	if pend := st.pendingSubs[m.Deal.Dealer]; len(pend) > 0 {
+		delete(st.pendingSubs, m.Deal.Dealer)
+		for _, sub := range pend {
+			c.handleReshareSub(sub)
+		}
+	}
 	c.tryFinishChange()
 }
 
@@ -244,6 +257,13 @@ func (c *Controller) handleReshareSub(m protocol.MsgReshareSub) {
 		return
 	}
 	if st.subsGot[m.Sub.Dealer] {
+		return
+	}
+	// A sub-share can overtake its dealer's deal (independent per-message
+	// jitter); the receiver cannot verify it yet, so hold it until the
+	// deal lands rather than dropping it and stalling the reshare.
+	if !st.dealsGot[m.Sub.Dealer] {
+		st.pendingSubs[m.Sub.Dealer] = append(st.pendingSubs[m.Sub.Dealer], m)
 		return
 	}
 	if err := st.receiver.HandleSubShare(m.Sub); err != nil {
@@ -341,6 +361,10 @@ func (c *Controller) completeChange(newShare bls.KeyShare, newGK *bls.GroupKey) 
 		if c.leaderForForwarding() {
 			c.announceMembershipToPeers()
 		}
+		// Re-delegate the metadata roles to the new membership: the next
+		// root retires departed members' role keys, and the fresh Feldman
+		// commitments already invalidate every pre-reshare BLS share.
+		c.rotateRootAfterChange()
 	}
 }
 
@@ -406,15 +430,16 @@ func (c *Controller) handleStateTransfer(m protocol.MsgStateTransfer) {
 		}
 	}
 	st := &changeState{
-		op:         protocol.MemberAdd,
-		subject:    c.cfg.ID,
-		newMembers: append([]pki.Identity(nil), m.NewMembers...),
-		newPhase:   m.NewPhase,
-		tNew:       CiceroQuorum(len(m.NewMembers)),
-		dealerIDs:  dealerIDs,
-		dealerSet:  dealerSet,
-		dealsGot:   make(map[uint32]bool),
-		subsGot:    make(map[uint32]bool),
+		op:          protocol.MemberAdd,
+		subject:     c.cfg.ID,
+		newMembers:  append([]pki.Identity(nil), m.NewMembers...),
+		newPhase:    m.NewPhase,
+		tNew:        CiceroQuorum(len(m.NewMembers)),
+		dealerIDs:   dealerIDs,
+		dealerSet:   dealerSet,
+		dealsGot:    make(map[uint32]bool),
+		subsGot:     make(map[uint32]bool),
+		pendingSubs: make(map[uint32][]protocol.MsgReshareSub),
 	}
 	for i, mem := range st.newMembers {
 		if mem == c.cfg.ID {

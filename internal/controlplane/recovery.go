@@ -106,6 +106,10 @@ func (c *Controller) StartRecovery() {
 		c.recovery = &recoverySession{responses: make(map[string]protocol.MsgRecoverState)}
 	}
 	c.sendRecoverRequests()
+	// Metadata moves outside the broadcast, so the event replay below
+	// will not restore it; ask peers for their verified sets (store
+	// monotonicity discards stale answers).
+	c.requestMetaCatchup()
 }
 
 // Recovering reports whether a recovery is in flight (started and not yet
@@ -284,6 +288,72 @@ func (c *Controller) handleResyncRequest(m protocol.MsgResyncRequest) {
 		// dependency.
 		c.sendUpdate(rec.id, rec.phase, rec.mods, true)
 	}
+}
+
+// Frozen-horizon watchdog (gap-stall self-recovery).
+//
+// A replica can wedge without crashing: the agreement traffic for one
+// slot is lost to a partition while the rest of the group keeps
+// deliving, and once peers garbage-collect past the gap nothing in the
+// broadcast layer will ever retransmit it. The replica then sits with
+// committed slots piling up above a delivery horizon that can no longer
+// move — alive, responsive, and permanently behind. Historically only a
+// supervisor's NudgeRecover rescued this state; the watchdog below lets
+// the controller notice the signature itself (committed slots above an
+// uncommittable gap, horizon frozen across a full timeout window) and
+// start its own authenticated f+1 recovery, which fast-forwards the
+// replica past the dead slot via the vouched-state transfer.
+
+// gapStallDefaultTimeout bounds the watchdog wait when no view-change
+// timeout is configured.
+const gapStallDefaultTimeout = time.Second
+
+// gapStallTimeout is how long the horizon must stay frozen (with
+// committed slots above it) before self-recovery fires. Several
+// view-change timeouts: a view change can legitimately resurrect the
+// gap slot when peers still hold its agreement state, so the watchdog
+// must be the slower mechanism.
+func (c *Controller) gapStallTimeout() time.Duration {
+	if c.cfg.ViewChangeTimeout > 0 {
+		return 4 * c.cfg.ViewChangeTimeout
+	}
+	return gapStallDefaultTimeout
+}
+
+// checkGapStall arms the watchdog when the wedge signature appears. It
+// is called after every atomic-broadcast message; the timer captures
+// the current horizon and fires only if it never moved.
+func (c *Controller) checkGapStall() {
+	if c.replica == nil || c.gapArmed || c.stopped || c.Recovering() {
+		return
+	}
+	if c.replica.GapStalled() == 0 {
+		return
+	}
+	c.gapArmed = true
+	horizon := c.replica.LastDelivered()
+	c.cfg.Net.After(fabric.NodeID(c.cfg.ID), c.gapStallTimeout(), func() {
+		c.onGapStallTimer(horizon)
+	})
+}
+
+// onGapStallTimer fires one watchdog check: if the horizon is still
+// where it was armed and committed slots still sit above it, the gap is
+// dead and recovery is the only way forward.
+func (c *Controller) onGapStallTimer(horizon uint64) {
+	c.gapArmed = false
+	if c.stopped || c.replica == nil || c.Recovering() {
+		return
+	}
+	if c.replica.LastDelivered() != horizon || c.replica.GapStalled() == 0 {
+		return // progress since arming; re-armed on the next stall
+	}
+	c.GapRecoveries++
+	// Clear the completed-recovery latch: this is a fresh wedge, not a
+	// retry of a finished session.
+	c.recovered = false
+	c.recovery = nil
+	c.StartRecovery()
 }
 
 // RedispatchUnacked retransmits every released-but-unacknowledged update

@@ -101,6 +101,25 @@ type Config struct {
 	BatchSize int
 	// BatchDelay bounds how long a partial batch waits before ordering.
 	BatchDelay time.Duration
+
+	// Metadata enables the TUF-style signed-metadata plane (ProtoCicero
+	// only): each domain gets a threshold-signed root of trust at build
+	// time, controllers publish policy targets/snapshot/timestamp sets
+	// through the atomic broadcast, and every controller and switch keeps
+	// a trusted store that enforces signatures, version monotonicity, and
+	// freshness before config adoption (see internal/metarepo).
+	Metadata bool
+	// MetadataTTL bounds targets/snapshot lifetime (0: metarepo default).
+	MetadataTTL time.Duration
+	// MetadataTimestampTTL bounds the freshness proof (0: default).
+	MetadataTimestampTTL time.Duration
+	// MetadataRefresh is the leader's timestamp re-mint interval
+	// (0: half the timestamp TTL).
+	MetadataRefresh time.Duration
+	// MetadataRefreshHorizon bounds the periodic refresh loop in simulated
+	// time: > 0 refreshes until the horizon, < 0 refreshes forever, 0
+	// disables the loop (timestamps are still minted per publication).
+	MetadataRefreshHorizon time.Duration
 }
 
 // Defaulted returns the config with defaults applied.

@@ -8,6 +8,8 @@ import (
 	"cicero/internal/controlplane"
 	"cicero/internal/dataplane"
 	"cicero/internal/fabric"
+	"cicero/internal/metarepo"
+	"cicero/internal/protocol"
 	"cicero/internal/routing"
 	"cicero/internal/simnet"
 	"cicero/internal/tcrypto/bls"
@@ -28,6 +30,9 @@ type Domain struct {
 	// Aggregator is the designated aggregator identity ("" in
 	// switch-aggregation mode).
 	Aggregator pki.Identity
+	// MetaGenesis is the domain's threshold-signed root of trust (zero
+	// value when Config.Metadata is off).
+	MetaGenesis protocol.MetaEnvelope
 	// Site is the graph node controllers of this domain are co-located
 	// with (for latency derivation).
 	Site string
@@ -151,11 +156,13 @@ func Build(cfg Config) (*Network, error) {
 			d.Shares = shares
 		}
 
-		// Controllers.
+		// Controllers. Identity keys come first: the metadata genesis root
+		// must delegate to every member key before any controller exists.
 		var aggregator pki.Identity
 		if cfg.Protocol == controlplane.ProtoCicero && cfg.Aggregation == controlplane.AggController {
 			aggregator = d.Members[0]
 		}
+		ctlKeys := make([]*pki.KeyPair, len(d.Members))
 		for i, id := range d.Members {
 			keys, err := pki.NewKeyPair(rand.Reader, id)
 			if err != nil {
@@ -163,6 +170,18 @@ func Build(cfg Config) (*Network, error) {
 			}
 			n.Directory.MustRegister(keys)
 			n.site[string(id)] = d.Site
+			ctlKeys[i] = keys
+		}
+		if cfg.Metadata && cfg.Protocol == controlplane.ProtoCicero {
+			root := metarepo.GenesisRoot(quorum, ctlKeys, int64(n.Fab.Now()), metaTTLNS(cfg))
+			env, err := metarepo.SignRootDirect(n.Scheme, d.GroupKey, d.Shares, root)
+			if err != nil {
+				return nil, fmt.Errorf("core: domain %d metadata genesis: %w", dom, err)
+			}
+			d.MetaGenesis = env
+		}
+		for i, id := range d.Members {
+			keys := ctlKeys[i]
 			ctlCfg := controlplane.Config{
 				ID:                id,
 				Domain:            dom,
@@ -191,6 +210,15 @@ func Build(cfg Config) (*Network, error) {
 				ctlCfg.Scheme = n.Scheme
 				ctlCfg.GroupKey = d.GroupKey
 				ctlCfg.Share = d.Shares[i]
+				if cfg.Metadata {
+					ctlCfg.Metadata = &controlplane.MetadataConfig{
+						Genesis:         d.MetaGenesis,
+						TTL:             cfg.MetadataTTL,
+						TimestampTTL:    cfg.MetadataTimestampTTL,
+						RefreshInterval: cfg.MetadataRefresh,
+						RefreshHorizon:  cfg.MetadataRefreshHorizon,
+					}
+				}
 			}
 			ctl, err := controlplane.New(ctlCfg)
 			if err != nil {
@@ -231,6 +259,9 @@ func Build(cfg Config) (*Network, error) {
 				swCfg.Scheme = n.Scheme
 				swCfg.GroupKey = d.GroupKey
 				swCfg.Quorum = quorum
+				if cfg.Metadata {
+					swCfg.Metadata = &dataplane.MetadataConfig{Genesis: d.MetaGenesis}
+				}
 			}
 			sw, err := dataplane.New(swCfg)
 			if err != nil {
@@ -244,6 +275,15 @@ func Build(cfg Config) (*Network, error) {
 		n.Domains = append(n.Domains, d)
 	}
 	return n, nil
+}
+
+// metaTTLNS is the genesis root lifetime in fabric nanoseconds
+// (mirrors the controlplane MetadataConfig default).
+func metaTTLNS(cfg Config) int64 {
+	if cfg.MetadataTTL > 0 {
+		return int64(cfg.MetadataTTL)
+	}
+	return int64(time.Hour)
 }
 
 // newApp builds the routing application for one controller replica. Each

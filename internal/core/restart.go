@@ -74,5 +74,6 @@ func (n *Network) RestartSwitch(id string) (*dataplane.Switch, error) {
 	sw.Bootstrap(d.Members, d.Aggregator, quorum)
 	n.Switches[id] = sw
 	n.Fab.Invoke(fabric.NodeID(id), sw.RequestResync)
+	n.Fab.Invoke(fabric.NodeID(id), sw.RequestMeta) // re-fetch verified metadata (no-op when disabled)
 	return sw, nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cicero/internal/fabric"
+	"cicero/internal/metarepo"
 	"cicero/internal/openflow"
 	"cicero/internal/protocol"
 	"cicero/internal/tcrypto/bls"
@@ -76,6 +77,10 @@ type Config struct {
 	// independently. ApplyHook still fires for the same decision.
 	BatchApplyHook func(sw string, m protocol.MsgBatchUpdate, valid bool)
 
+	// Metadata, when non-nil, enables the trusted-metadata store
+	// (requires Scheme and GroupKey; see metadata.go).
+	Metadata *MetadataConfig
+
 	// BootEpoch namespaces this instance's event sequence numbers (the
 	// high 32 bits). Controllers dedup events by id, so a switch that
 	// restarts with a reset counter would collide with its pre-crash ids
@@ -136,6 +141,14 @@ type Switch struct {
 	// that the no-forged-rule invariant must catch.
 	verifyBypass bool
 
+	// meta is the trusted-metadata store (nil when disabled); see
+	// metadata.go.
+	meta *metarepo.Store
+
+	// MetaConfigRejects counts config pushes rejected because the signed
+	// policy metadata contradicted them.
+	MetaConfigRejects uint64
+
 	// Counters for experiments.
 	EventsGenerated uint64
 	UpdatesApplied  uint64
@@ -165,6 +178,9 @@ func New(cfg Config) (*Switch, error) {
 	}
 	if cfg.Scheme != nil {
 		s.verifyCache = bls.NewVerifyCache(bls.DefaultVerifyCacheSize)
+	}
+	if err := s.initMetadata(); err != nil {
+		return nil, err
 	}
 	cfg.Net.Register(fabric.NodeID(cfg.ID), s)
 	return s, nil
@@ -275,6 +291,10 @@ func (s *Switch) HandleMessage(from fabric.NodeID, msg fabric.Message) {
 	case protocol.MsgConfig:
 		s.cfg.Net.Charge(fabric.NodeID(s.cfg.ID), s.cfg.Cost.MsgProcess)
 		s.handleConfig(m)
+	case protocol.MsgMeta:
+		s.handleMeta(m)
+	case protocol.MsgMetaSet:
+		s.handleMetaSet(m)
 	case openflow.BundleOpen:
 		s.handleBundleOpen(m)
 	case openflow.BundleAdd:
@@ -399,6 +419,11 @@ func (s *Switch) handleConfig(m protocol.MsgConfig) {
 				return
 			}
 		}
+	}
+	if !s.metaAllowsConfig(m) {
+		s.MetaConfigRejects++
+		s.UpdatesRejected++
+		return
 	}
 	s.configPhase = m.Phase
 	s.cfg.Controllers = append([]pki.Identity(nil), m.Members...)

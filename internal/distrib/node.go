@@ -181,6 +181,11 @@ func (rt *nodeRuntime) build() error {
 			BatchDelay:        time.Duration(b.BatchDelayNS),
 			CrashRecovery:     rt.opts.CrashRecovery,
 		}
+		if b.MetaGenesis.Role != "" {
+			// The bundle carries only the root of trust; everything below it
+			// arrives through the verified distribution path.
+			cfg.Metadata = &controlplane.MetadataConfig{Genesis: b.MetaGenesis}
+		}
 		ctl, err := controlplane.New(cfg)
 		if err != nil {
 			return err
@@ -205,6 +210,9 @@ func (rt *nodeRuntime) build() error {
 			ApplyHook:   rt.onApply,
 			BootEpoch:   rt.opts.BootEpoch,
 		}
+		if b.MetaGenesis.Role != "" {
+			cfg.Metadata = &dataplane.MetadataConfig{Genesis: b.MetaGenesis}
+		}
 		sw, err := dataplane.New(cfg)
 		if err != nil {
 			return err
@@ -216,6 +224,7 @@ func (rt *nodeRuntime) build() error {
 			sw.Bootstrap(b.Members, b.Aggregator, b.Quorum)
 			if rt.opts.Resync {
 				sw.RequestResync()
+				sw.RequestMeta()
 			}
 		})
 	default:

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cicero/internal/controlplane"
+	"cicero/internal/metarepo"
 	"cicero/internal/protocol"
 	"cicero/internal/tcrypto/bls"
 	"cicero/internal/tcrypto/dkg"
@@ -46,6 +47,12 @@ type Spec struct {
 	// ViewChangeTimeout bounds broadcast stalls; zero takes the live
 	// chaos plane's 2s wall-clock default.
 	ViewChangeTimeout time.Duration
+	// Metadata makes every bundle carry the domain's threshold-signed
+	// root of trust; node processes boot their trusted-metadata stores
+	// from it and verify all further metadata against it.
+	Metadata bool
+	// MetadataTTL bounds metadata document lifetime (0: 1 hour).
+	MetadataTTL time.Duration
 }
 
 // Deployment is a planned deployment: per-node signed provisioning
@@ -116,23 +123,39 @@ func Plan(spec Spec) (*Deployment, error) {
 
 	seeds := make(map[string][]byte)
 	directory := make(map[pki.Identity][]byte)
-	addKey := func(id pki.Identity) error {
+	addKey := func(id pki.Identity) (*pki.KeyPair, error) {
 		kp, err := pki.NewKeyPair(rand.Reader, id)
 		if err != nil {
-			return fmt.Errorf("distrib: keygen %s: %w", id, err)
+			return nil, fmt.Errorf("distrib: keygen %s: %w", id, err)
 		}
 		seeds[string(id)] = kp.Seed()
 		directory[id] = append([]byte(nil), kp.Public...)
-		return nil
+		return kp, nil
 	}
-	for _, m := range members {
-		if err := addKey(m); err != nil {
+	memberKeys := make([]*pki.KeyPair, len(members))
+	for i, m := range members {
+		kp, err := addKey(m)
+		if err != nil {
+			return nil, err
+		}
+		memberKeys[i] = kp
+	}
+	for _, sw := range switches {
+		if _, err := addKey(pki.Identity(sw)); err != nil {
 			return nil, err
 		}
 	}
-	for _, sw := range switches {
-		if err := addKey(pki.Identity(sw)); err != nil {
-			return nil, err
+
+	var metaGenesis protocol.MetaEnvelope
+	if spec.Metadata {
+		ttl := spec.MetadataTTL
+		if ttl == 0 {
+			ttl = time.Hour
+		}
+		root := metarepo.GenesisRoot(quorum, memberKeys, time.Now().UnixNano(), int64(ttl))
+		metaGenesis, err = metarepo.SignRootDirect(scheme, gk, shares, root)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: metadata genesis: %w", err)
 		}
 	}
 
@@ -166,6 +189,7 @@ func Plan(spec Spec) (*Deployment, error) {
 		ViewChangeTimeoutNS: int64(spec.ViewChangeTimeout),
 		GraphNodes:          graphNodes,
 		GraphLinks:          graphLinks,
+		MetaGenesis:         metaGenesis,
 	}
 	for i, m := range members {
 		b := common

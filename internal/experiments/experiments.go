@@ -90,6 +90,7 @@ func Registry() map[string]Runner {
 		"chaos":     ChaosCampaign,
 		"synthesis": Synthesis,
 		"distrib":   Distrib,
+		"tuf":       Tuf,
 	}
 }
 

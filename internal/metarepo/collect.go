@@ -1,0 +1,153 @@
+package metarepo
+
+import (
+	"bytes"
+	"fmt"
+
+	"cicero/internal/protocol"
+	"cicero/internal/tcrypto/bls"
+)
+
+// Leader-side envelope assembly. Controllers derive role documents
+// deterministically and send the metadata leader their signatures
+// (MsgMetaSig) or BLS shares (MsgMetaShare, root only); the collectors
+// below verify each contribution as it arrives and produce the finished
+// envelope once the threshold is met. Verification at collection time is
+// what makes the retired-share defense real: a share from a pre-reshare
+// sharing fails VerifyShare against the fresh Feldman commitments even
+// though the group public key is unchanged.
+
+// ShareCollector assembles the threshold BLS signature for one root
+// document.
+type ShareCollector struct {
+	scheme  *bls.Scheme
+	gk      *bls.GroupKey
+	version uint64
+	signed  []byte
+	msg     []byte
+	shares  map[uint32]bls.SignatureShare
+	done    bool
+	// StaleRejected counts shares that failed verification against the
+	// current commitments — garbage, or signatures minted with retired
+	// (pre-reshare) shares.
+	StaleRejected int
+}
+
+// NewShareCollector starts collecting for a root document. gk must be
+// the current group key (post-reshare commitments).
+func NewShareCollector(scheme *bls.Scheme, gk *bls.GroupKey, version uint64, signed []byte) *ShareCollector {
+	return &ShareCollector{
+		scheme:  scheme,
+		gk:      gk,
+		version: version,
+		signed:  append([]byte(nil), signed...),
+		msg:     protocol.MetaSigningBytes(protocol.MetaRoleRoot, signed),
+		shares:  make(map[uint32]bls.SignatureShare),
+	}
+}
+
+// Add verifies one share. When the quorum completes it returns the
+// finished root envelope (done=true exactly once).
+func (c *ShareCollector) Add(m protocol.MsgMetaShare) (env protocol.MetaEnvelope, done bool, err error) {
+	if c.done {
+		return protocol.MetaEnvelope{}, false, nil
+	}
+	if m.Version != c.version || !bytes.Equal(m.Signed, c.signed) {
+		return protocol.MetaEnvelope{}, false, fmt.Errorf("metarepo: share for different root document")
+	}
+	share := bls.SignatureShare{Index: m.ShareIndex}
+	pt, perr := c.scheme.Params.ParsePoint(m.Share)
+	if perr != nil {
+		c.StaleRejected++
+		return protocol.MetaEnvelope{}, false, fmt.Errorf("metarepo: root share parse: %w", perr)
+	}
+	share.Point = pt
+	if !c.scheme.VerifyShare(c.gk, c.msg, share) {
+		c.StaleRejected++
+		return protocol.MetaEnvelope{}, false, fmt.Errorf("metarepo: root share %d invalid under current commitments", m.ShareIndex)
+	}
+	c.shares[m.ShareIndex] = share
+	if len(c.shares) < c.gk.T {
+		return protocol.MetaEnvelope{}, false, nil
+	}
+	quorum := make([]bls.SignatureShare, 0, c.gk.T)
+	for _, sh := range c.shares {
+		quorum = append(quorum, sh)
+		if len(quorum) == c.gk.T {
+			break
+		}
+	}
+	sig, cerr := c.scheme.Combine(c.gk, quorum)
+	if cerr != nil {
+		return protocol.MetaEnvelope{}, false, fmt.Errorf("metarepo: combine root shares: %w", cerr)
+	}
+	c.done = true
+	return protocol.MetaEnvelope{
+		Role:   protocol.MetaRoleRoot,
+		Signed: append([]byte(nil), c.signed...),
+		Sigs:   []protocol.MetaSig{{KeyID: protocol.MetaSigKeyGroup, Sig: sig.Bytes(c.scheme)}},
+	}, true, nil
+}
+
+// SigCollector assembles one delegated-role envelope from individual
+// role signatures.
+type SigCollector struct {
+	role       string
+	version    uint64
+	signed     []byte
+	digest     []byte
+	delegation Delegation
+	sigs       map[string]protocol.MetaSig
+	done       bool
+	// Rejected counts contributions that failed verification (wrong
+	// document, undelegated key, bad signature).
+	Rejected int
+}
+
+// NewSigCollector starts collecting for a delegated document under the
+// given delegation (taken from the leader's current verified root).
+func NewSigCollector(role string, version uint64, signed []byte, delegation Delegation) *SigCollector {
+	return &SigCollector{
+		role:       role,
+		version:    version,
+		signed:     append([]byte(nil), signed...),
+		digest:     Digest(signed),
+		delegation: delegation,
+		sigs:       make(map[string]protocol.MetaSig),
+	}
+}
+
+// Add verifies one role signature. When the role threshold completes it
+// returns the finished envelope (done=true exactly once).
+func (c *SigCollector) Add(m protocol.MsgMetaSig) (env protocol.MetaEnvelope, done bool, err error) {
+	if c.done {
+		return protocol.MetaEnvelope{}, false, nil
+	}
+	if m.Role != c.role || m.Version != c.version || !bytes.Equal(m.Digest, c.digest) {
+		c.Rejected++
+		return protocol.MetaEnvelope{}, false, fmt.Errorf("metarepo: signature for different %s document", c.role)
+	}
+	pub := c.delegation.Key(m.KeyID)
+	if pub == nil {
+		c.Rejected++
+		return protocol.MetaEnvelope{}, false, fmt.Errorf("metarepo: %q not delegated for %s", m.KeyID, c.role)
+	}
+	if !VerifyRoleSig(pub, c.role, c.signed, m.Sig) {
+		c.Rejected++
+		return protocol.MetaEnvelope{}, false, fmt.Errorf("metarepo: bad %s signature from %q", c.role, m.KeyID)
+	}
+	c.sigs[m.KeyID] = protocol.MetaSig{KeyID: m.KeyID, Sig: m.Sig}
+	if len(c.sigs) < c.delegation.Threshold {
+		return protocol.MetaEnvelope{}, false, nil
+	}
+	env = protocol.MetaEnvelope{Role: c.role, Signed: append([]byte(nil), c.signed...)}
+	// Deterministic signature order (map iteration would vary run to
+	// run and break bit-identical replays).
+	for _, k := range c.delegation.Keys {
+		if sig, ok := c.sigs[k.KeyID]; ok {
+			env.Sigs = append(env.Sigs, sig)
+		}
+	}
+	c.done = true
+	return env, true, nil
+}

@@ -85,6 +85,13 @@ type NodeBundle struct {
 	// GraphNodes and GraphLinks serialize the data-plane topology.
 	GraphNodes []WireGraphNode
 	GraphLinks []WireGraphLink
+	// MetaGenesis, when its Role is set, is the domain's threshold-signed
+	// root of trust: the ONLY metadata the bundle carries. Everything
+	// below the root (targets, snapshot, timestamp) arrives through the
+	// verified distribution path and is checked against it, so a
+	// compromised provisioning channel cannot pre-seed a store with
+	// documents the root never delegated.
+	MetaGenesis MetaEnvelope
 }
 
 // MsgNodeHello announces a booted (or rebooted) node process to the
@@ -230,6 +237,7 @@ type wireNodeBundle struct {
 	ViewChangeTimeoutNS int64                   `json:"view_change_timeout_ns,omitempty"`
 	GraphNodes          []WireGraphNode         `json:"graph_nodes,omitempty"`
 	GraphLinks          []WireGraphLink         `json:"graph_links,omitempty"`
+	MetaGenesis         *MetaEnvelope           `json:"meta_genesis,omitempty"`
 }
 
 func encodeNodeBundle(c *WireCodec, msg fabric.Message) (json.RawMessage, error) {
@@ -258,6 +266,10 @@ func encodeNodeBundle(c *WireCodec, msg fabric.Message) (json.RawMessage, error)
 	}
 	if m.Share.Scalar != nil {
 		w.ShareScalar = m.Share.Scalar.Bytes()
+	}
+	if m.MetaGenesis.Role != "" {
+		g := m.MetaGenesis
+		w.MetaGenesis = &g
 	}
 	return json.Marshal(w)
 }
@@ -294,6 +306,9 @@ func decodeNodeBundle(c *WireCodec, raw json.RawMessage, _ int) (fabric.Message,
 	}
 	if w.ShareScalar != nil {
 		out.Share = bls.KeyShare{Index: w.ShareIndex, Scalar: new(big.Int).SetBytes(w.ShareScalar)}
+	}
+	if w.MetaGenesis != nil {
+		out.MetaGenesis = *w.MetaGenesis
 	}
 	return out, nil
 }

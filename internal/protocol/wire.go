@@ -79,6 +79,13 @@ func NewWireCodec(params *pairing.Params) *WireCodec {
 	registerJSON[MsgRecoverState](c, "recover-state")
 	registerJSON[MsgResyncRequest](c, "resync-request")
 	registerJSON[MsgReshareSub](c, "reshare-sub")
+	// TUF-style metadata vocabulary (see meta.go): envelopes are plain
+	// bytes+signatures, so no custom crypto encoding is needed.
+	registerJSON[MsgMeta](c, "meta")
+	registerJSON[MsgMetaSet](c, "meta-set")
+	registerJSON[MsgMetaRequest](c, "meta-request")
+	registerJSON[MsgMetaShare](c, "meta-share")
+	registerJSON[MsgMetaSig](c, "meta-sig")
 	c.register(reflect.TypeOf(MsgConfig{}), "config", encodeConfig, decodeConfig)
 	c.register(reflect.TypeOf(MsgStateTransfer{}), "state-transfer", encodeStateTransfer, decodeStateTransfer)
 	c.register(reflect.TypeOf(MsgReshareDeal{}), "reshare-deal", encodeReshareDeal, decodeReshareDeal)
